@@ -1,0 +1,219 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The paper-reproduction benchmarks: one per table and figure of the
+// evaluation section, at the small scale so a full -bench=. pass stays
+// tractable (cmd/lsbench regenerates them at larger scales). Each reports
+// the experiment's headline metric via b.ReportMetric, so `go test -bench`
+// output records the reproduced numbers alongside the timings.
+
+// benchRun executes one simulation inside a benchmark.
+func benchRun(b *testing.B, cfg sim.Config, alg core.Algorithm, gen func(pages int) workload.Generator) sim.Result {
+	b.Helper()
+	res, err := sim.Run(cfg, alg, gen(cfg.UserPages()), experiments.ScaleSmall.Updates())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable1 measures the §8.1 uniform agreement at F=0.8: simulated
+// emptiness at cleaning (age-based) vs the analytic fixpoint.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ScaleSmall.SimConfig(0.8)
+		res := benchRun(b, cfg, core.Age(), func(p int) workload.Generator {
+			return workload.NewUniform(p, experiments.Seed)
+		})
+		b.ReportMetric(res.MeanEAtClean, "E@clean")
+		b.ReportMetric(analysis.FixpointE(0.8), "E-analysis")
+	}
+}
+
+// BenchmarkTable2 measures the hot/cold agreement at F=0.8, 80-20: MDC-opt
+// cleaning cost vs the analytic minimum.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ScaleSmall.SimConfig(0.8)
+		res := benchRun(b, cfg, core.MDCOpt(), func(p int) workload.Generator {
+			return workload.NewSkew(p, 0.8, experiments.Seed)
+		})
+		b.ReportMetric(res.CostSeg, "cost-sim")
+		b.ReportMetric(analysis.HotColdCost(0.8, 0.8, 0.5), "cost-analysis")
+	}
+}
+
+// BenchmarkFig3Breakdown measures the MDC ablations on the 80-20 hot/cold
+// distribution: each variant's write amplification.
+func BenchmarkFig3Breakdown(b *testing.B) {
+	for _, alg := range core.Figure3Set() {
+		alg := alg
+		b.Run(alg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.ScaleSmall.SimConfig(0.8)
+				res := benchRun(b, cfg, alg, func(p int) workload.Generator {
+					return workload.NewSkew(p, 0.8, experiments.Seed)
+				})
+				b.ReportMetric(res.Wamp, "Wamp")
+			}
+		})
+	}
+}
+
+// BenchmarkFig4SortBuffer sweeps the user write buffer size under Zipf 0.99
+// at F=0.8 (MDC).
+func BenchmarkFig4SortBuffer(b *testing.B) {
+	for _, w := range []int{0, 1, 4, 16, 64} {
+		w := w
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.ScaleSmall.SimConfig(0.8)
+				cfg.WriteBufferSegs = w
+				res := benchRun(b, cfg, core.MDC(), func(p int) workload.Generator {
+					return workload.NewZipf(p, 0.99, experiments.Seed)
+				})
+				b.ReportMetric(res.Wamp, "Wamp")
+			}
+		})
+	}
+}
+
+// benchFig5 runs one Figure 5 panel cell per algorithm at F=0.8.
+func benchFig5(b *testing.B, gen func(pages int) workload.Generator) {
+	for _, alg := range core.Figure5Set() {
+		alg := alg
+		b.Run(alg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.ScaleSmall.SimConfig(0.8)
+				res := benchRun(b, cfg, alg, gen)
+				b.ReportMetric(res.Wamp, "Wamp")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5aUniform compares the seven algorithms under uniform updates.
+func BenchmarkFig5aUniform(b *testing.B) {
+	benchFig5(b, func(p int) workload.Generator { return workload.NewUniform(p, experiments.Seed) })
+}
+
+// BenchmarkFig5bZipf99 compares them under the 80-20 Zipfian distribution.
+func BenchmarkFig5bZipf99(b *testing.B) {
+	benchFig5(b, func(p int) workload.Generator { return workload.NewZipf(p, 0.99, experiments.Seed) })
+}
+
+// BenchmarkFig5cZipf135 compares them under the 90-10 Zipfian distribution.
+func BenchmarkFig5cZipf135(b *testing.B) {
+	benchFig5(b, func(p int) workload.Generator { return workload.NewZipf(p, 1.35, experiments.Seed) })
+}
+
+// BenchmarkFig6TPCC replays the TPC-C B+-tree trace at F=0.8 for each
+// algorithm. The trace is generated once (the generation cost is excluded).
+func BenchmarkFig6TPCC(b *testing.B) {
+	tr := experiments.TPCCTrace(experiments.ScaleSmall, nil)
+	for _, alg := range core.Figure5Set() {
+		alg := alg
+		b.Run(alg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wamp := experiments.Fig6At(experiments.ScaleSmall, tr, 0.8, alg)
+				b.ReportMetric(wamp, "Wamp")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCostBenefitFormula contrasts the classic cost-benefit
+// formula with the one literally printed in §6.1.3 (E read as emptiness),
+// documenting why the printed form cannot be what the paper plotted.
+func BenchmarkAblationCostBenefitFormula(b *testing.B) {
+	for _, alg := range []core.Algorithm{core.CostBenefit(), core.CostBenefitLiteral()} {
+		alg := alg
+		b.Run(alg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.ScaleSmall.SimConfig(0.8)
+				res := benchRun(b, cfg, alg, func(p int) workload.Generator {
+					return workload.NewZipf(p, 0.99, experiments.Seed)
+				})
+				b.ReportMetric(res.Wamp, "Wamp")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCleanBatch varies the segments cleaned per cycle for MDC
+// (the §6.1.1 batching choice: batching amortizes selection and widens the
+// GC separation window).
+func BenchmarkAblationCleanBatch(b *testing.B) {
+	for _, batch := range []int{1, 4, 8, 32} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.ScaleSmall.SimConfig(0.8)
+				cfg.CleanBatch = batch
+				res := benchRun(b, cfg, core.MDC(), func(p int) workload.Generator {
+					return workload.NewSkew(p, 0.8, experiments.Seed)
+				})
+				b.ReportMetric(res.Wamp, "Wamp")
+			}
+		})
+	}
+}
+
+// BenchmarkSimWrite measures the raw simulator update path (ns per user
+// update, including amortized cleaning) under MDC.
+func BenchmarkSimWrite(b *testing.B) {
+	cfg := experiments.ScaleSmall.SimConfig(0.8)
+	gen := workload.NewZipf(cfg.UserPages(), 0.99, experiments.Seed)
+	s, err := sim.New(cfg, core.MDC(), gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := 0; p < gen.PreloadPages(); p++ {
+		s.Write(uint32(p))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := gen.Next()
+		s.Write(p)
+	}
+}
+
+// BenchmarkZipfNext measures the rejection-inversion sampler.
+func BenchmarkZipfNext(b *testing.B) {
+	z := workload.NewZipf(1<<20, 0.99, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}
+
+// BenchmarkVictimSelection measures one policy selection over a full
+// segment table.
+func BenchmarkVictimSelection(b *testing.B) {
+	cfg := experiments.ScaleSmall.SimConfig(0.8)
+	gen := workload.NewUniform(cfg.UserPages(), 1)
+	s, err := sim.New(cfg, core.MDC(), gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := 0; p < gen.PreloadPages(); p++ {
+		s.Write(uint32(p))
+	}
+	view := s.View()
+	alg := core.MDC()
+	var dst []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = alg.Policy.Victims(view, 8, dst[:0])
+	}
+}

@@ -1,0 +1,48 @@
+// Command lsanalysis prints the paper's closed-form results: Table 1 (the
+// uniform-distribution cleaning fixpoint and its derived columns) and
+// Table 2 (the minimum cost of managing hot and cold data separately),
+// including the numerically optimized slack split.
+//
+// Usage:
+//
+//	lsanalysis [-f 0.8] [-table2fill 0.8]
+//
+// Without flags both full paper tables are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	fill := flag.Float64("f", 0, "print a single Table 1 row for this fill factor (0 = full table)")
+	t2fill := flag.Float64("table2fill", 0.8, "overall fill factor for Table 2")
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	fmt.Fprintln(w, "Table 1: Fill Factor F vs Segment Emptiness When Cleaned (uniform updates, age-based cleaning)")
+	fmt.Fprintln(w, "F\t1-F\tE\tCost\tR=E/(1-F)\tWamp")
+	fills := analysis.Table1Fills
+	if *fill > 0 {
+		fills = []float64{*fill}
+	}
+	for _, row := range analysis.Table1(fills) {
+		fmt.Fprintf(w, "%.3f\t%.3f\t%.4f\t%.2f\t%.2f\t%.3f\n",
+			row.F, row.Slack, row.E, row.Cost, row.R, row.Wamp)
+	}
+
+	fmt.Fprintf(w, "\nTable 2: Minimum Cost When Managing Hot and Cold Data Separately (F=%.2f)\n", *t2fill)
+	fmt.Fprintln(w, "Cold-Hot\tMinCost\tHot:60%\tHot:40%\topt split gHot\topt cost\topt Wamp")
+	for _, row := range analysis.Table2(*t2fill, nil) {
+		fmt.Fprintf(w, "%d:%d\t%.2f\t%.2f\t%.2f\t%.3f\t%.2f\t%.3f\n",
+			int(row.M*100), int(100-row.M*100),
+			row.MinCost, row.Hot60, row.Hot40, row.OptG, row.OptCost, row.OptWamp)
+	}
+}

@@ -1,0 +1,78 @@
+// Command lsbench regenerates the paper's evaluation: every table and
+// figure, as markdown (for EXPERIMENTS.md) or CSV.
+//
+// Examples:
+//
+//	lsbench -exp all -scale medium          # everything, ~minutes
+//	lsbench -exp fig5 -scale small -v       # one experiment with progress
+//	lsbench -exp table1 -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lsbench: ")
+
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig3, fig4, fig5, fig6")
+	scaleName := flag.String("scale", "medium", "geometry preset: small, medium, paper")
+	format := flag.String("format", "md", "output format: md, csv")
+	verbose := flag.Bool("v", false, "log per-run progress to stderr")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+
+	start := time.Now()
+	var tables []*experiments.Table
+	switch *exp {
+	case "all":
+		tables = experiments.All(scale, progress)
+	case "table1":
+		tables = append(tables, experiments.Table1(scale, nil, progress))
+	case "table2":
+		tables = append(tables, experiments.Table2(scale, progress))
+	case "fig3":
+		tables = append(tables, experiments.Fig3(scale, progress))
+	case "fig4":
+		tables = append(tables, experiments.Fig4(scale, progress))
+	case "fig5":
+		tables = append(tables,
+			experiments.Fig5(scale, experiments.Fig5Uniform, progress),
+			experiments.Fig5(scale, experiments.Fig5Zipf99, progress),
+			experiments.Fig5(scale, experiments.Fig5Zipf135, progress))
+	case "fig6":
+		tables = append(tables, experiments.Fig6(scale, nil, progress))
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+
+	for _, t := range tables {
+		switch *format {
+		case "md":
+			t.Markdown(os.Stdout)
+		case "csv":
+			fmt.Printf("# %s\n", t.Name)
+			t.CSV(os.Stdout)
+			fmt.Println()
+		default:
+			log.Fatalf("unknown format %q", *format)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lsbench: %s at scale %s in %.1fs\n", *exp, scale, time.Since(start).Seconds())
+}

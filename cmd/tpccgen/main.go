@@ -1,0 +1,68 @@
+// Command tpccgen runs the TPC-C workload over the B+-tree storage engine
+// with its CLOCK buffer cache and writes the resulting page-write I/O trace
+// to a file — the input of the paper's §6.3 experiment (replay with
+// lssim -trace or lsbench -exp fig6).
+//
+// Example:
+//
+//	tpccgen -o tpcc.trace -warehouses 8 -tx 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/tpcc"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tpccgen: ")
+
+	out := flag.String("o", "tpcc.trace", "output trace file")
+	warehouses := flag.Int("warehouses", 4, "TPC-C scale factor W")
+	customers := flag.Int("customers", 300, "customers per district (spec: 3000)")
+	items := flag.Int("items", 10000, "item count (spec: 100000)")
+	orders := flag.Int("orders", 300, "initial orders per district (spec: 3000)")
+	txs := flag.Int("tx", 40000, "transactions to run")
+	cache := flag.Int("cache", 0, "buffer cache pages (0 = ~1/8 of data)")
+	ckpt := flag.Int("checkpoint", 2000, "checkpoint every N transactions")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	e := tpcc.NewEngine(tpcc.Config{
+		Warehouses:               *warehouses,
+		CustomersPerDistrict:     *customers,
+		Items:                    *items,
+		InitialOrdersPerDistrict: *orders,
+		CachePages:               *cache,
+		CheckpointEveryTx:        *ckpt,
+		Seed:                     *seed,
+	})
+	e.Run(*txs)
+	tr := e.Trace()
+	st := e.Stats()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("transactions   %d (NewOrder %d, Payment %d, OrderStatus %d, Delivery %d, StockLevel %d)\n",
+		*txs, st.TxCounts[tpcc.TxNewOrder], st.TxCounts[tpcc.TxPayment],
+		st.TxCounts[tpcc.TxOrderStatus], st.TxCounts[tpcc.TxDelivery], st.TxCounts[tpcc.TxStockLevel])
+	fmt.Printf("page universe  %d pages (%d preloaded by initial load)\n", tr.Universe, tr.Preload)
+	fmt.Printf("trace writes   %d\n", len(tr.Writes))
+	fmt.Printf("buffer cache   %d pages, hit ratio %.3f, %d dirty evictions, %d checkpoint flushes\n",
+		st.Pool.Capacity, st.Pool.HitRatio(), st.Pool.DirtyEvictions, st.Pool.Flushes)
+}

@@ -1,0 +1,86 @@
+// Quickstart: open a durable log-structured page store, write and read
+// pages, watch the MDC cleaner reclaim space, and recover after a restart.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "lsstore-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opts := repro.StoreOptions{
+		Dir:          dir,
+		PageSize:     4096,
+		SegmentPages: 64,
+		MaxSegments:  64, // ~16 MB capacity
+		// Algorithm defaults to repro.MDC().
+	}
+	st, err := repro.OpenStore(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fill to ~75% with live pages, then update a hot subset so the
+	// cleaner has work: pages are never updated in place, so every rewrite
+	// leaves a garbage version behind for the cleaner.
+	const livePages = 3000
+	page := make([]byte, 4096)
+	for id := uint32(0); id < livePages; id++ {
+		fillPage(page, id, 0)
+		if err := st.WritePage(id, page); err != nil {
+			log.Fatalf("write %d: %v", id, err)
+		}
+	}
+	r := rand.New(rand.NewPCG(1, 2))
+	for i := 1; i <= 20000; i++ {
+		id := uint32(r.IntN(livePages / 10)) // hot 10%
+		fillPage(page, id, i)
+		if err := st.WritePage(id, page); err != nil {
+			log.Fatalf("update: %v", err)
+		}
+	}
+
+	s := st.Stats()
+	fmt.Printf("live pages       %d of %d capacity (fill %.2f)\n", s.LivePages, s.CapacityPages, s.FillFactor)
+	fmt.Printf("user writes      %d\n", s.UserWrites)
+	fmt.Printf("GC relocations   %d (write amplification %.3f)\n", s.GCWrites, s.WriteAmp)
+	fmt.Printf("segments cleaned %d at mean emptiness %.3f\n", s.SegmentsCleaned, s.MeanEAtClean)
+
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reopen: recovery rebuilds the page table by scanning the segments
+	// and keeping each page's highest-sequence record.
+	st2, err := repro.OpenStore(opts)
+	if err != nil {
+		log.Fatalf("recovery: %v", err)
+	}
+	defer st2.Close()
+	buf := make([]byte, 4096)
+	if err := st2.ReadPage(7, buf); err != nil {
+		log.Fatalf("read after recovery: %v", err)
+	}
+	fmt.Printf("recovered        %d live pages; page 7 readable, checksum verified\n",
+		st2.Stats().LivePages)
+}
+
+// fillPage stamps a recognizable per-version pattern.
+func fillPage(p []byte, id uint32, version int) {
+	for i := range p {
+		p[i] = byte(int(id) + version + i)
+	}
+}

@@ -1,0 +1,121 @@
+// Package analysis implements the paper's closed-form cleaning-cost models:
+// the age-based uniform-distribution fixpoint of §2.2 (Table 1) and the
+// hot/cold slack-space division of §3 (Table 2, and the "opt" reference line
+// of Figure 3). The simulator cross-validates against these, which is the
+// paper's own §8.1 analysis/simulation agreement argument.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// FixpointE solves the limiting recursion of paper equation 4,
+//
+//	E = 1 - (1/e)^(E/F)
+//
+// for the segment emptiness E at cleaning time under a uniform update
+// distribution with age-based cleaning at fill factor F in (0,1).
+//
+// E=0 is always a trivial root; the nontrivial root is the unique zero of
+// h(E) = 1 - exp(-E/F) - E in (0,1), bracketed because h(0+) > 0 for F < 1
+// and h(1) < 0. Bisection is used instead of naive fixed-point iteration:
+// near F→1 the iteration's contraction factor approaches 1 and it would
+// need millions of steps for full precision.
+//
+// Note the paper's printed Table 1 rounds E(0.80) to .375 while the exact
+// fixpoint of its own equation is .3714 (cost 5.385, not 5.33); the
+// simulator agrees with the exact value (and with the paper's own MDC-opt
+// simulation column, .370).
+func FixpointE(f float64) float64 {
+	if f <= 0 || f >= 1 {
+		panic(fmt.Sprintf("analysis: FixpointE needs F in (0,1), got %v", f))
+	}
+	h := func(e float64) float64 { return -math.Expm1(-e/f) - e }
+	lo, hi := 1e-12, 1.0
+	for i := 0; i < 200 && hi-lo > 1e-15; i++ {
+		mid := (lo + hi) / 2
+		if h(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// FixpointEFinite solves the finite-population recursion of §2.2,
+//
+//	E = 1 - ((P-1)/P)^(P*E/F)
+//
+// for a user-visible store of P pages. As P grows this converges to
+// FixpointE; the paper notes P > 30 already makes the difference negligible.
+func FixpointEFinite(f float64, p int) float64 {
+	if p < 2 {
+		panic("analysis: FixpointEFinite needs P >= 2")
+	}
+	if f <= 0 || f >= 1 {
+		panic(fmt.Sprintf("analysis: FixpointEFinite needs F in (0,1), got %v", f))
+	}
+	logBase := math.Log(float64(p-1) / float64(p))
+	h := func(e float64) float64 {
+		return -math.Expm1(float64(p)*e/f*logBase) - e
+	}
+	lo, hi := 1e-12, 1.0
+	for i := 0; i < 200 && hi-lo > 1e-15; i++ {
+		mid := (lo + hi) / 2
+		if h(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// CostSeg is paper equation 1: the total I/O cost, in segment writes, of
+// writing one segment of new data when cleaned segments are E empty.
+func CostSeg(e float64) float64 { return 2 / e }
+
+// Wamp is paper equation 2: write amplification (1-E)/E.
+func Wamp(e float64) float64 { return (1 - e) / e }
+
+// WampFromCost converts a CostSeg value back to write amplification:
+// Cost = 2/E and Wamp = (1-E)/E = Cost/2 - 1.
+func WampFromCost(cost float64) float64 { return cost/2 - 1 }
+
+// RRatio returns R = E/(1-F), the Table 1 ratio between achieved emptiness
+// and raw slack fraction.
+func RRatio(f float64) float64 { return FixpointE(f) / (1 - f) }
+
+// Table1Row is one row of paper Table 1.
+type Table1Row struct {
+	F     float64 // fill factor
+	Slack float64 // 1-F
+	E     float64 // fixpoint emptiness at cleaning
+	Cost  float64 // 2/E
+	R     float64 // E/(1-F)
+	Wamp  float64 // (1-E)/E
+}
+
+// Table1Fills lists the fill factors of paper Table 1.
+var Table1Fills = []float64{
+	.975, .95, .90, .85, .80, .75, .70, .65, .60, .55, .50, .45, .40, .35, .30, .25, .20,
+}
+
+// Table1 evaluates the Table 1 columns for the given fill factors (defaults
+// to the paper's set when fs is empty).
+func Table1(fs []float64) []Table1Row {
+	if len(fs) == 0 {
+		fs = Table1Fills
+	}
+	rows := make([]Table1Row, 0, len(fs))
+	for _, f := range fs {
+		e := FixpointE(f)
+		rows = append(rows, Table1Row{
+			F: f, Slack: 1 - f, E: e,
+			Cost: CostSeg(e), R: e / (1 - f), Wamp: Wamp(e),
+		})
+	}
+	return rows
+}

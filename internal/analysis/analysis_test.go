@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// paperTable1 holds the E column of paper Table 1 (fill factor -> E).
+var paperTable1 = map[float64]float64{
+	.975: .048, .95: .094, .90: .19, .85: .29, .80: .375, .75: .45,
+	.70: .53, .65: .60, .60: .67, .55: .74, .50: .80, .45: .85,
+	.40: .89, .35: .93, .30: .96, .25: .98, .20: .993,
+}
+
+func TestFixpointResidual(t *testing.T) {
+	for f := 0.05; f < 1; f += 0.05 {
+		e := FixpointE(f)
+		resid := e - (1 - math.Exp(-e/f))
+		if math.Abs(resid) > 1e-12 {
+			t.Errorf("F=%.2f: fixpoint residual %v", f, resid)
+		}
+		if e <= 0 || e >= 1 {
+			t.Errorf("F=%.2f: E=%v outside (0,1)", f, e)
+		}
+	}
+}
+
+func TestFixpointMatchesPaperTable1(t *testing.T) {
+	for f, want := range paperTable1 {
+		got := FixpointE(f)
+		// The paper reports 2-3 significant digits.
+		if math.Abs(got-want) > 0.005+want*0.01 {
+			t.Errorf("F=%v: E=%v, paper says %v", f, got, want)
+		}
+	}
+}
+
+func TestFixpointMonotone(t *testing.T) {
+	prev := 0.0
+	for f := 0.98; f > 0.02; f -= 0.02 {
+		e := FixpointE(f)
+		if e <= prev {
+			t.Fatalf("E must increase as F decreases: F=%.2f E=%v prev=%v", f, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestFixpointFiniteConvergesToLimit(t *testing.T) {
+	// §2.2: once P is large the finite recursion matches the limit.
+	for _, f := range []float64{0.5, 0.8, 0.95} {
+		limit := FixpointE(f)
+		big := FixpointEFinite(f, 1<<20)
+		if math.Abs(big-limit) > 1e-4 {
+			t.Errorf("F=%v: finite(2^20)=%v vs limit %v", f, big, limit)
+		}
+		// Small P deviates more than huge P.
+		small := FixpointEFinite(f, 8)
+		if math.Abs(small-limit) < math.Abs(big-limit) {
+			t.Errorf("F=%v: small-P should deviate more (small %v, big %v, limit %v)",
+				f, small, big, limit)
+		}
+	}
+}
+
+func TestFixpointValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FixpointE(0) },
+		func() { FixpointE(1) },
+		func() { FixpointE(-1) },
+		func() { FixpointEFinite(0.5, 1) },
+		func() { HotColdCost(0.8, 0.3, 0.5) },
+		func() { HotColdCost(0.8, 0.8, 0) },
+		func() { HotColdCost(1.1, 0.8, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCostAndWampIdentities(t *testing.T) {
+	for e := 0.05; e < 1; e += 0.05 {
+		if got := CostSeg(e); math.Abs(got-2/e) > 1e-12 {
+			t.Errorf("CostSeg(%v) = %v", e, got)
+		}
+		// Wamp = Cost/2 - 1 (both from equation 1/2).
+		if got, want := WampFromCost(CostSeg(e)), Wamp(e); math.Abs(got-want) > 1e-12 {
+			t.Errorf("identity broken at E=%v: %v vs %v", e, got, want)
+		}
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1(nil)
+	if len(rows) != len(Table1Fills) {
+		t.Fatalf("Table1 returned %d rows, want %d", len(rows), len(Table1Fills))
+	}
+	// Spot-check the F=0.8 row against the paper: E=.375 Cost=5.33 R=1.88
+	// Wamp=1.66.
+	var r Table1Row
+	for _, row := range rows {
+		if row.F == 0.80 {
+			r = row
+		}
+	}
+	if math.Abs(r.E-0.375) > 0.005 {
+		t.Errorf("E(0.8) = %v, paper 0.375", r.E)
+	}
+	// The paper's printed 5.33 is 2/.375 with E rounded; the exact fixpoint
+	// gives 5.385 (see FixpointE doc), within ~1%.
+	if math.Abs(r.Cost-5.33) > 0.08 {
+		t.Errorf("Cost(0.8) = %v, paper 5.33", r.Cost)
+	}
+	if math.Abs(r.R-1.88) > 0.03 {
+		t.Errorf("R(0.8) = %v, paper 1.88", r.R)
+	}
+	if math.Abs(r.Wamp-1.66) > 0.04 {
+		t.Errorf("Wamp(0.8) = %v, paper 1.66", r.Wamp)
+	}
+}
+
+// paperTable2MinCost holds the MinCost column of paper Table 2 at F=0.8.
+var paperTable2MinCost = map[float64]float64{
+	0.9: 2.96, 0.8: 4.00, 0.7: 4.80, 0.6: 5.23, 0.5: 5.38,
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2(0.8, nil)
+	for _, r := range rows {
+		want := paperTable2MinCost[r.M]
+		// Our exact fixpoint (instead of the paper's constant-R
+		// simplification) deviates by up to ~2%.
+		if math.Abs(r.MinCost-want)/want > 0.02 {
+			t.Errorf("m=%v: MinCost=%v, paper %v", r.M, r.MinCost, want)
+		}
+		// Unequal splits cost slightly more than the (near-)equal optimum,
+		// mirroring the paper's Hot:60%/Hot:40% columns.
+		if r.Hot60 < r.OptCost-1e-9 || r.Hot40 < r.OptCost-1e-9 {
+			t.Errorf("m=%v: skewed split beats optimum: 60%%=%v 40%%=%v opt=%v",
+				r.M, r.Hot60, r.Hot40, r.OptCost)
+		}
+	}
+}
+
+func TestHotColdMinNearEqualSplit(t *testing.T) {
+	// §3.2: for m:1-m distributions the optimal slack split is close to
+	// g1 = g2 (within the small (R2/R1)^(1/2) correction).
+	for _, m := range []float64{0.6, 0.7, 0.8, 0.9} {
+		g, cost := HotColdMin(0.8, m)
+		if g < 0.40 || g > 0.60 {
+			t.Errorf("m=%v: optimal gHot = %v, expected near 0.5", m, g)
+		}
+		if equal := HotColdCost(0.8, m, 0.5); cost > equal+1e-9 {
+			t.Errorf("m=%v: numeric optimum %v worse than equal split %v", m, cost, equal)
+		}
+	}
+}
+
+func TestSeparationBeatsUniform(t *testing.T) {
+	// The whole point of §3: managing hot/cold separately costs less than
+	// one uniform pool at the same overall fill factor.
+	uniformCost := CostSeg(FixpointE(0.8))
+	for _, m := range []float64{0.6, 0.7, 0.8, 0.9} {
+		sep := HotColdCost(0.8, m, 0.5)
+		if sep >= uniformCost {
+			t.Errorf("m=%v: separated cost %v not below uniform %v", m, sep, uniformCost)
+		}
+	}
+	// And more skew helps more.
+	prev := uniformCost
+	for _, m := range []float64{0.6, 0.7, 0.8, 0.9} {
+		c := HotColdCost(0.8, m, 0.5)
+		if c >= prev {
+			t.Errorf("cost should fall with skew: m=%v cost=%v prev=%v", m, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestMaximalityLemma(t *testing.T) {
+	// Property test of the paper's appendix: Σ x_i*y_i over positive
+	// vectors is maximized when both are sorted the same way — no random
+	// pairing may beat the same-ordered pairing.
+	r := rand.New(rand.NewPCG(1, 2))
+	err := quick.Check(func(n uint8) bool {
+		k := int(n)%20 + 2
+		x := make([]float64, k)
+		y := make([]float64, k)
+		for i := range x {
+			x[i] = r.Float64() + 1e-3
+			y[i] = r.Float64() + 1e-3
+		}
+		sortedDot := func() float64 {
+			xs := append([]float64(nil), x...)
+			ys := append([]float64(nil), y...)
+			sort.Float64s(xs)
+			sort.Float64s(ys)
+			var s float64
+			for i := range xs {
+				s += xs[i] * ys[i]
+			}
+			return s
+		}()
+		// Try a handful of random pairings.
+		for trial := 0; trial < 10; trial++ {
+			perm := r.Perm(k)
+			var s float64
+			for i, j := range perm {
+				s += x[i] * y[j]
+			}
+			if s > sortedDot+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRRatio(t *testing.T) {
+	// Paper Table 1: R declines from ~1.94 at F=.975 to ~1.24 at F=.20.
+	// (The paper's printed row is internally inconsistent — .048/.025=1.92,
+	// not its printed 1.94 — and the exact fixpoint gives 1.98.)
+	if r := RRatio(0.975); math.Abs(r-1.94) > 0.05 {
+		t.Errorf("R(0.975) = %v, paper 1.94", r)
+	}
+	if r := RRatio(0.20); math.Abs(r-1.24) > 0.03 {
+		t.Errorf("R(0.20) = %v, paper 1.24", r)
+	}
+	prev := math.Inf(1)
+	for _, f := range Table1Fills {
+		r := RRatio(f)
+		if r >= prev {
+			t.Errorf("R should decrease as F decreases: F=%v R=%v prev=%v", f, r, prev)
+		}
+		prev = r
+	}
+}

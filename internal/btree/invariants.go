@@ -1,0 +1,99 @@
+package btree
+
+import "fmt"
+
+// CheckInvariants validates the structural invariants of the tree and
+// returns the first violation:
+//
+//  1. Keys are strictly increasing within every node and across the whole
+//     key space (in-order traversal is sorted).
+//  2. Interior separator keys bound their subtrees: every key in kids[i] is
+//     < keys[i], every key in kids[i+1] is >= keys[i].
+//  3. All leaves sit at the same depth, equal to Height().
+//  4. Byte accounting matches the entries, and no node exceeds its budget.
+//  5. The leaf chain visits exactly the leaves, left to right.
+//  6. Len() equals the number of leaf entries.
+func (t *Tree) CheckInvariants() error {
+	leaves := make([]*node, 0, 64)
+	count := 0
+	var walk func(n *node, depth int, lo, hi uint64, hasLo, hasHi bool) error
+	walk = func(n *node, depth int, lo, hi uint64, hasLo, hasHi bool) error {
+		nb := 0
+		for i, k := range n.keys {
+			if i > 0 && n.keys[i-1] >= k {
+				return fmt.Errorf("node %d: keys out of order at %d", n.id, i)
+			}
+			if hasLo && k < lo {
+				return fmt.Errorf("node %d: key %d below subtree bound %d", n.id, k, lo)
+			}
+			if hasHi && k >= hi {
+				return fmt.Errorf("node %d: key %d above subtree bound %d", n.id, k, hi)
+			}
+		}
+		if n.leaf {
+			if depth != t.height {
+				return fmt.Errorf("leaf %d at depth %d, height is %d", n.id, depth, t.height)
+			}
+			if len(n.vals) != len(n.keys) {
+				return fmt.Errorf("leaf %d: %d keys but %d values", n.id, len(n.keys), len(n.vals))
+			}
+			for _, v := range n.vals {
+				nb += leafEntryBytes(v)
+			}
+			if nb != n.nbytes {
+				return fmt.Errorf("leaf %d: accounted %d bytes, actual %d", n.id, n.nbytes, nb)
+			}
+			if nb > t.budget() {
+				return fmt.Errorf("leaf %d: %d bytes over budget %d", n.id, nb, t.budget())
+			}
+			leaves = append(leaves, n)
+			count += len(n.keys)
+			return nil
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			return fmt.Errorf("inner %d: %d kids for %d keys", n.id, len(n.kids), len(n.keys))
+		}
+		nb = innerEntryBytes * len(n.kids)
+		if nb != n.nbytes {
+			return fmt.Errorf("inner %d: accounted %d bytes, actual %d", n.id, n.nbytes, nb)
+		}
+		if nb > t.budget() {
+			return fmt.Errorf("inner %d: %d bytes over budget %d", n.id, nb, t.budget())
+		}
+		for i, kid := range n.kids {
+			clo, chasLo := lo, hasLo
+			chi, chasHi := hi, hasHi
+			if i > 0 {
+				clo, chasLo = n.keys[i-1], true
+			}
+			if i < len(n.keys) {
+				chi, chasHi = n.keys[i], true
+			}
+			if err := walk(kid, depth+1, clo, chi, chasLo, chasHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, 0, 0, false, false); err != nil {
+		return err
+	}
+	if count != t.count {
+		return fmt.Errorf("Len() = %d but traversal found %d entries", t.count, count)
+	}
+	// Leaf chain agrees with the traversal order.
+	n := t.first
+	for i, want := range leaves {
+		if n == nil {
+			return fmt.Errorf("leaf chain ends after %d of %d leaves", i, len(leaves))
+		}
+		if n != want {
+			return fmt.Errorf("leaf chain diverges at position %d (page %d != %d)", i, n.id, want.id)
+		}
+		n = n.next
+	}
+	if n != nil {
+		return fmt.Errorf("leaf chain longer than traversal (extra page %d)", n.id)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package bufferpool simulates a database buffer cache in front of a
+// page-structured storage engine. It is the substrate that turns the TPC-C
+// B+-tree workload into the page-write I/O trace of the paper's §6.3
+// evaluation ("I/O traces collected from running the TPC-C benchmark on a
+// B+-tree-based storage engine. The buffer cache size was set at 4 GB").
+//
+// The pool implements the CLOCK (second chance) replacement policy. Page
+// contents live with their owners (the B+-tree keeps its nodes; only the
+// write ORDER matters to the log-structure simulator), so the pool tracks
+// residency, reference and dirty bits, and appends a page id to the trace
+// whenever a dirty page is evicted or flushed.
+package bufferpool
+
+import "fmt"
+
+// Pool is a CLOCK buffer cache over an abstract page id space. It also owns
+// page id allocation so that multiple B+-trees (the TPC-C tables) share one
+// id space, as they would share one tablespace file.
+type Pool struct {
+	capacity int
+
+	frames map[uint32]int // page id -> ring index
+	ring   []frame
+	hand   int
+
+	nextID  uint32
+	freeIDs []uint32
+
+	writes []uint32
+
+	hits, misses   uint64
+	evictions      uint64
+	dirtyEvictions uint64
+	flushes        uint64
+}
+
+type frame struct {
+	id    uint32
+	ref   bool
+	dirty bool
+	live  bool
+}
+
+// New returns a pool holding at most capacity pages.
+func New(capacity int) *Pool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("bufferpool: capacity %d < 1", capacity))
+	}
+	return &Pool{
+		capacity: capacity,
+		frames:   make(map[uint32]int, capacity),
+		ring:     make([]frame, 0, capacity),
+	}
+}
+
+// Allocate returns a fresh page id, resident and dirty (a newly created page
+// must eventually reach storage).
+func (p *Pool) Allocate() uint32 {
+	var id uint32
+	if n := len(p.freeIDs); n > 0 {
+		id = p.freeIDs[n-1]
+		p.freeIDs = p.freeIDs[:n-1]
+	} else {
+		id = p.nextID
+		p.nextID++
+	}
+	p.admit(id, true)
+	return id
+}
+
+// FreePage returns a page id to the allocator. A freed page needs no final
+// write, so its frame is dropped clean.
+func (p *Pool) FreePage(id uint32) {
+	if idx, ok := p.frames[id]; ok {
+		p.ring[idx].live = false
+		p.ring[idx].dirty = false
+		delete(p.frames, id)
+	}
+	p.freeIDs = append(p.freeIDs, id)
+}
+
+// Touch records a read access: a hit refreshes the reference bit, a miss
+// faults the page in (evicting if full).
+func (p *Pool) Touch(id uint32) {
+	if idx, ok := p.frames[id]; ok {
+		p.ring[idx].ref = true
+		p.hits++
+		return
+	}
+	p.misses++
+	p.admit(id, false)
+}
+
+// Dirty records a write access: Touch plus the dirty bit.
+func (p *Pool) Dirty(id uint32) {
+	if idx, ok := p.frames[id]; ok {
+		p.ring[idx].ref = true
+		p.ring[idx].dirty = true
+		p.hits++
+		return
+	}
+	p.misses++
+	p.admit(id, true)
+}
+
+// admit inserts a page, evicting a victim when the pool is full.
+func (p *Pool) admit(id uint32, dirty bool) {
+	if len(p.ring) < p.capacity {
+		p.ring = append(p.ring, frame{id: id, ref: true, dirty: dirty, live: true})
+		p.frames[id] = len(p.ring) - 1
+		return
+	}
+	// CLOCK sweep: give referenced frames a second chance; dead frames
+	// (freed pages) are taken immediately.
+	for {
+		f := &p.ring[p.hand]
+		if !f.live {
+			break
+		}
+		if f.ref {
+			f.ref = false
+			p.hand = (p.hand + 1) % len(p.ring)
+			continue
+		}
+		break
+	}
+	victim := &p.ring[p.hand]
+	if victim.live {
+		p.evictions++
+		if victim.dirty {
+			p.dirtyEvictions++
+			p.writes = append(p.writes, victim.id)
+		}
+		delete(p.frames, victim.id)
+	}
+	*victim = frame{id: id, ref: true, dirty: dirty, live: true}
+	p.frames[id] = p.hand
+	p.hand = (p.hand + 1) % len(p.ring)
+}
+
+// FlushDirty writes out every dirty resident page (a checkpoint). Pages stay
+// resident and clean. The flush order is frame order, which approximates the
+// page-id ordered background writes of a checkpointer.
+func (p *Pool) FlushDirty() int {
+	n := 0
+	for i := range p.ring {
+		f := &p.ring[i]
+		if f.live && f.dirty {
+			p.writes = append(p.writes, f.id)
+			f.dirty = false
+			p.flushes++
+			n++
+		}
+	}
+	return n
+}
+
+// Writes returns the page-write trace accumulated so far. The caller must
+// not retain it across further pool activity.
+func (p *Pool) Writes() []uint32 { return p.writes }
+
+// MaxPageID returns the page universe size (max allocated id + 1).
+func (p *Pool) MaxPageID() uint32 { return p.nextID }
+
+// Resident returns the number of pages currently cached.
+func (p *Pool) Resident() int { return len(p.frames) }
+
+// Stats summarizes pool activity.
+type Stats struct {
+	Capacity       int
+	Hits, Misses   uint64
+	Evictions      uint64
+	DirtyEvictions uint64
+	Flushes        uint64
+	TraceLen       int
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Capacity: p.capacity,
+		Hits:     p.hits, Misses: p.misses,
+		Evictions:      p.evictions,
+		DirtyEvictions: p.dirtyEvictions,
+		Flushes:        p.flushes,
+		TraceLen:       len(p.writes),
+	}
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any access.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

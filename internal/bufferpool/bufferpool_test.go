@@ -1,0 +1,153 @@
+package bufferpool
+
+import "testing"
+
+func TestAllocateUniqueAndReuse(t *testing.T) {
+	p := New(16)
+	a, b := p.Allocate(), p.Allocate()
+	if a == b {
+		t.Fatalf("Allocate returned duplicate id %d", a)
+	}
+	p.FreePage(a)
+	if c := p.Allocate(); c != a {
+		t.Errorf("freed id %d not reused (got %d)", a, c)
+	}
+	if p.MaxPageID() != 2 {
+		t.Errorf("MaxPageID = %d, want 2", p.MaxPageID())
+	}
+}
+
+func TestHitsAndMisses(t *testing.T) {
+	p := New(4)
+	id := p.Allocate()
+	p.Touch(id)
+	if s := p.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("stats after resident touch: %+v", s)
+	}
+	p.Touch(999) // never-seen page faults in
+	if s := p.Stats(); s.Misses != 1 {
+		t.Fatalf("stats after cold touch: %+v", s)
+	}
+}
+
+func TestDirtyEvictionProducesTrace(t *testing.T) {
+	p := New(2)
+	a := p.Allocate() // dirty
+	b := p.Allocate() // dirty
+	_ = b
+	p.Allocate() // evicts one of a,b (both dirty) -> trace
+	if got := len(p.Writes()); got != 1 {
+		t.Fatalf("trace length %d, want 1", got)
+	}
+	if w := p.Writes()[0]; w != a {
+		// CLOCK with all-ref frames sweeps from the hand; a is the first
+		// admitted and first swept after ref clearing.
+		t.Logf("evicted %d (either of the first two is acceptable)", w)
+	}
+}
+
+func TestCleanEvictionSilent(t *testing.T) {
+	p := New(2)
+	p.Touch(100)
+	p.Touch(101)
+	p.Touch(102) // evicts a clean page: no trace
+	if len(p.Writes()) != 0 {
+		t.Fatalf("clean eviction wrote trace: %v", p.Writes())
+	}
+	if p.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", p.Stats().Evictions)
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	p := New(3)
+	p.Touch(1)
+	p.Touch(2)
+	p.Touch(3)
+	// All frames referenced: the sweep clears every bit and falls back to
+	// FIFO, evicting page 1.
+	p.Touch(4)
+	hits := p.Stats().Hits
+	// Now 4 is referenced, 2 and 3 are not. Referencing 2 must save it
+	// from the next eviction (second chance), which takes 3 instead.
+	p.Touch(2)
+	if p.Stats().Hits != hits+1 {
+		t.Fatalf("touch of resident page 2 missed: %+v", p.Stats())
+	}
+	p.Touch(5) // sweep: 2 ref cleared, 3 unreferenced -> evicted
+	p.Touch(2)
+	if p.Stats().Hits != hits+2 {
+		t.Fatalf("page 2 evicted despite reference bit: %+v", p.Stats())
+	}
+	p.Touch(3)
+	if p.Stats().Misses == 5 {
+		t.Fatalf("page 3 survived; expected it evicted: %+v", p.Stats())
+	}
+	if p.Resident() != 3 {
+		t.Fatalf("resident = %d, want 3", p.Resident())
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	p := New(8)
+	a := p.Allocate()
+	b := p.Allocate()
+	p.Touch(77) // clean resident
+	n := p.FlushDirty()
+	if n != 2 {
+		t.Fatalf("FlushDirty wrote %d pages, want 2", n)
+	}
+	got := map[uint32]bool{}
+	for _, w := range p.Writes() {
+		got[w] = true
+	}
+	if !got[a] || !got[b] || got[77] {
+		t.Fatalf("flush trace wrong: %v", p.Writes())
+	}
+	// Second flush is a no-op: pages are now clean.
+	if n := p.FlushDirty(); n != 0 {
+		t.Fatalf("second flush wrote %d", n)
+	}
+	// Dirtying again re-queues the page.
+	p.Dirty(a)
+	if n := p.FlushDirty(); n != 1 {
+		t.Fatalf("flush after re-dirty wrote %d", n)
+	}
+}
+
+func TestFreedPageNeverWritten(t *testing.T) {
+	p := New(2)
+	a := p.Allocate()
+	p.FreePage(a) // dirty but freed: must not be flushed or evicted-written
+	if n := p.FlushDirty(); n != 0 {
+		t.Fatalf("flushed %d pages after free", n)
+	}
+	p.Touch(50)
+	p.Touch(51)
+	p.Touch(52)
+	for _, w := range p.Writes() {
+		if w == a {
+			t.Fatalf("freed page %d appeared in trace", a)
+		}
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Error("empty stats hit ratio != 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.HitRatio() != 0.75 {
+		t.Errorf("hit ratio = %v", s.HitRatio())
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for capacity 0")
+		}
+	}()
+	New(0)
+}

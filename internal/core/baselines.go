@@ -1,0 +1,87 @@
+package core
+
+// agePolicy always cleans the oldest sealed segment (paper §2.2): the
+// circular-buffer strategy of the original LFS, optimal under uniform
+// update distributions.
+type agePolicy struct{}
+
+// Age returns the age-based cleaning algorithm ("age" in the figures).
+func Age() Algorithm {
+	return Algorithm{Name: "age", Policy: agePolicy{}}
+}
+
+func (agePolicy) Name() string { return "age" }
+
+func (agePolicy) Victims(v View, max int, dst []int32) []int32 {
+	return scoredSelect(v, max, dst,
+		func(m *SegmentMeta) float64 { return float64(m.SealSeq) },
+		ascending)
+}
+
+// greedyPolicy cleans the segment with the most available free space
+// (largest E) first.
+type greedyPolicy struct{}
+
+// Greedy returns the greedy cleaning algorithm ("greedy" in the figures).
+func Greedy() Algorithm {
+	return Algorithm{Name: "greedy", Policy: greedyPolicy{}}
+}
+
+func (greedyPolicy) Name() string { return "greedy" }
+
+func (greedyPolicy) Victims(v View, max int, dst []int32) []int32 {
+	return scoredSelect(v, max, dst,
+		func(m *SegmentMeta) float64 { return m.Emptiness() },
+		descending)
+}
+
+// costBenefitPolicy is the cost-benefit heuristic of the original LFS paper
+// [Rosenblum & Ousterhout 1991], cleaning the segment with the highest
+// benefit-to-cost ratio
+//
+//	benefit/cost = E * age / (2 - E)
+//
+// where age = now - SealTime is the age of the segment's data and the cost
+// 2-E = 1 read of the segment + write of its 1-E live fraction. With E
+// rewritten as utilization u = 1-E this is the familiar (1-u)*age/(1+u).
+//
+// Note: §6.1.3 of the reproduced paper prints the formula as "(1-E)*age/E",
+// which with E = emptiness would clean full segments first and cannot produce
+// the reported mid-pack curves; the printed E there must denote utilization.
+// See CostBenefitLiteral for the literal expression.
+type costBenefitPolicy struct{ literal bool }
+
+// CostBenefit returns the classic LFS cost-benefit algorithm ("cost-benefit"
+// in the figures).
+func CostBenefit() Algorithm {
+	return Algorithm{Name: "cost-benefit", Policy: costBenefitPolicy{}}
+}
+
+// CostBenefitLiteral returns a cost-benefit variant using the formula exactly
+// as printed in §6.1.3, (1-E)*age/E with E = emptiness. It exists to document
+// why the printed formula cannot be what was plotted (see the ablation bench).
+func CostBenefitLiteral() Algorithm {
+	return Algorithm{Name: "cost-benefit-literal", Policy: costBenefitPolicy{literal: true}}
+}
+
+func (p costBenefitPolicy) Name() string {
+	if p.literal {
+		return "cost-benefit-literal"
+	}
+	return "cost-benefit"
+}
+
+func (p costBenefitPolicy) Victims(v View, max int, dst []int32) []int32 {
+	score := func(m *SegmentMeta) float64 {
+		e := m.Emptiness()
+		age := float64(v.Now - min(m.SealTime, v.Now))
+		if p.literal {
+			if e <= 0 {
+				return 0
+			}
+			return (1 - e) * age / e
+		}
+		return e * age / (2 - e)
+	}
+	return scoredSelect(v, max, dst, score, descending)
+}

@@ -1,0 +1,146 @@
+// Package core implements segment cleaning (garbage collection) policies for
+// log structured stores, including the paper's contribution — MDC, the
+// Minimum Declining Cost policy — and every baseline it is evaluated against:
+// age-based, greedy, cost-benefit (Rosenblum/Ousterhout LFS) and multi-log
+// (Stoica/Ailamaki).
+//
+// A cleaning policy orders sealed segments for cleaning. The engine that owns
+// the segments (the simulator in internal/sim, the durable page store in
+// internal/store, or the in-memory value log in internal/vlog) maintains one
+// SegmentMeta per segment and asks the policy to select victims whenever free
+// space runs low. Policies are pure functions of that metadata, so the exact
+// same policy code runs under all three substrates.
+//
+// Terminology follows the paper: a segment holds B bytes of which A are free
+// (emptiness E = A/B), contains C live pages, and carries up2, the estimated
+// penultimate update time measured on the update-count clock (one tick per
+// user update, never wall-clock).
+package core
+
+import "fmt"
+
+// SegState is the lifecycle state of a segment.
+type SegState uint8
+
+const (
+	// SegFree means the segment holds no live data and can be reused.
+	SegFree SegState = iota
+	// SegOpen means the segment is being filled and cannot be cleaned yet.
+	SegOpen
+	// SegSealed means the segment is full and eligible for cleaning.
+	SegSealed
+)
+
+func (s SegState) String() string {
+	switch s {
+	case SegFree:
+		return "free"
+	case SegOpen:
+		return "open"
+	case SegSealed:
+		return "sealed"
+	default:
+		return fmt.Sprintf("SegState(%d)", uint8(s))
+	}
+}
+
+// SegmentMeta is the per-segment bookkeeping a policy may inspect. It is the
+// information inventory of paper §5.1.1: available space A, live count C and
+// the penultimate update time up2, plus fields needed by the baselines
+// (seal sequence for age, stream for multi-log, exact rate sum for the *-opt
+// variants).
+type SegmentMeta struct {
+	// Capacity is B, the byte capacity of the segment.
+	Capacity int64
+	// Free is A, the bytes occupied by obsolete (empty) page frames.
+	Free int64
+	// Live is C, the number of current (live) pages in the segment.
+	Live int32
+	// Stream identifies the append stream (log) the segment was written by.
+	// Engines without routing use stream 0 for user data and 1 for GC output.
+	Stream int32
+	// State is the lifecycle state; only SegSealed segments are victims.
+	State SegState
+	// SealSeq is a monotonically increasing sequence number assigned when the
+	// segment is sealed. Age-based cleaning orders by it.
+	SealSeq uint64
+	// SealTime is the update-clock value when the segment was sealed.
+	// Cost-benefit uses now-SealTime as the segment's data age.
+	SealTime uint64
+	// Up2 is the penultimate-update estimate of paper §5.2: initialized at
+	// seal time to the average carried up2 of the member pages and advanced
+	// to (Up2+now)/2 each time a member page is invalidated.
+	Up2 float64
+	// RateSum is the sum of the exact per-page update rates of the live
+	// pages, when the workload oracle provides them (the *-opt variants).
+	// Engines that do not track exact rates leave it zero.
+	RateSum float64
+}
+
+// Emptiness returns E = A/B, the empty fraction of the segment.
+func (m *SegmentMeta) Emptiness() float64 {
+	if m.Capacity <= 0 {
+		return 0
+	}
+	return float64(m.Free) / float64(m.Capacity)
+}
+
+// View is the engine state a policy sees when selecting victims.
+type View struct {
+	// Now is the current update-clock value (unow).
+	Now uint64
+	// Segs holds the metadata of every physical segment, indexed by id.
+	Segs []SegmentMeta
+	// TriggerStream is the stream whose append caused free space to run low.
+	// Multi-log uses it to restrict selection to the local neighborhood;
+	// other policies ignore it.
+	TriggerStream int32
+}
+
+// Policy selects cleaning victims among sealed segments.
+type Policy interface {
+	// Name returns the canonical policy name used in the paper's figures.
+	Name() string
+	// Victims appends up to max sealed segment ids to dst, most urgent
+	// first, and returns the extended slice. Implementations must only
+	// return segments whose State is SegSealed.
+	Victims(v View, max int, dst []int32) []int32
+}
+
+// Router assigns page writes to append streams. Policies that separate data
+// into multiple logs (multi-log) implement it; for the others the engine uses
+// its default two streams (user and GC).
+type Router interface {
+	// Route returns the stream for a page write. estInterval is the
+	// observed update interval now-lastWrite (0 when the page has no
+	// history); exactRate is the oracle update rate or a negative value
+	// when unknown. Implementations choose which signal to use.
+	Route(estInterval uint64, exactRate float64) int32
+}
+
+// Algorithm bundles a Policy with the write-path behavior the paper's
+// evaluation attaches to it (§6.1.3): whether user and GC writes are
+// separated by update frequency (sorted before packing into segments),
+// whether exact per-page update rates are used instead of estimates, how many
+// segments one cleaning cycle processes, and an optional Router.
+type Algorithm struct {
+	// Name is the label used in the paper's figures (e.g. "MDC", "greedy").
+	Name string
+	// Policy selects victims.
+	Policy Policy
+	// Router is non-nil only for multi-log style placement.
+	Router Router
+	// SortUser separates user writes by update frequency (paper §5.3).
+	SortUser bool
+	// SortGC separates GC relocation writes by update frequency.
+	SortGC bool
+	// Exact uses the workload's exact page update rates for sorting and for
+	// the per-segment frequency term (the "-opt" variants of §6.1.3).
+	Exact bool
+	// CleanPerCycle is the number of segments cleaned per cleaning cycle;
+	// 0 means the engine default (64 per §6.1.1). Multi-log uses 1 to match
+	// the evaluation of the original paper.
+	CleanPerCycle int
+}
+
+func (a Algorithm) String() string { return a.Name }

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"slices"
+)
+
+// DecliningCost returns the MDC priority of a segment: the estimated rate at
+// which its per-page cleaning cost is still declining, the transformed
+// declining-cost equation of paper §5.1.3:
+//
+//	-dCost/du  ∝  ((B-A)/A)^2 * 1/(C * (unow - up2))
+//
+// Smaller values are cleaned sooner: a segment whose cost will barely decline
+// any further should be cleaned now, while a rapidly declining (hot, still
+// accumulating holes) segment is worth waiting for.
+//
+// The 1/C factor is the variable-size ΔE of §4.4 — the average live record
+// size (B-A)/C over B — so this one formula covers both fixed-size pages
+// (where (B-A)/C is the constant page size and the expression reduces to
+// (1-E)/E^2 per §4.5) and variable-size records (the value-log store).
+//
+// Degenerate cases follow the physics of the formula: a completely empty
+// segment (A = B) costs nothing to clean and returns 0; a completely full
+// segment (A = 0) yields no space and returns +Inf. The update interval is
+// clamped to >= 1 tick.
+func DecliningCost(m *SegmentMeta, now uint64) float64 {
+	b := float64(m.Capacity)
+	a := float64(m.Free)
+	if a >= b {
+		return 0
+	}
+	if a <= 0 {
+		return math.Inf(1)
+	}
+	c := float64(m.Live)
+	if c <= 0 {
+		// No live records yet free < capacity can only happen in
+		// variable-size stores with per-record overhead; the segment is
+		// effectively empty, so clean it first.
+		return 0
+	}
+	interval := float64(now) - m.Up2
+	if interval < 1 {
+		interval = 1
+	}
+	lf := (b - a) / a
+	return lf * lf / (c * interval)
+}
+
+// DecliningCostExact is DecliningCost with the 2/(unow-up2) update-frequency
+// estimator replaced by the exact per-segment update rate (the sum of the
+// live pages' oracle rates), as used by MDC-opt (§6.1.3). The substitution
+// keeps the same proportionality — 1/(unow-up2) ~ RateSum/2 — and constant
+// factors do not affect the ordering.
+func DecliningCostExact(m *SegmentMeta, now uint64) float64 {
+	b := float64(m.Capacity)
+	a := float64(m.Free)
+	if a >= b {
+		return 0
+	}
+	if a <= 0 {
+		return math.Inf(1)
+	}
+	c := float64(m.Live)
+	if c <= 0 {
+		return 0
+	}
+	if m.RateSum <= 0 {
+		// Pages that will never be updated again decline at rate zero:
+		// cleaning them can only get cheaper by external means, never by
+		// waiting, so they are maximally urgent among equals.
+		return 0
+	}
+	lf := (b - a) / a
+	return lf * lf * m.RateSum / c
+}
+
+// cand is a scored victim candidate.
+type cand struct {
+	id  int32
+	seq uint64 // seal sequence, the deterministic tie-break (older first)
+	s   float64
+}
+
+// scoredSelect scans every sealed segment, scores it with score, and returns
+// up to max ids appended to dst ordered so that the most urgent victim (per
+// less over scores) comes first. It keeps only the best max candidates in a
+// bounded heap, so a selection costs O(N + max·log N) instead of sorting all
+// segments; the cleaner calls it once per cleaning cycle.
+func scoredSelect(v View, max int, dst []int32,
+	score func(m *SegmentMeta) float64,
+	less func(a, b float64) bool) []int32 {
+
+	if max <= 0 {
+		return dst
+	}
+	// worse reports whether a should be evicted from the kept set before b:
+	// the heap root is the least urgent kept candidate.
+	worse := func(a, b cand) bool {
+		if a.s != b.s {
+			return less(b.s, a.s)
+		}
+		return a.seq > b.seq
+	}
+	heap := make([]cand, 0, max)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			w := i
+			if l < len(heap) && worse(heap[l], heap[w]) {
+				w = l
+			}
+			if r < len(heap) && worse(heap[r], heap[w]) {
+				w = r
+			}
+			if w == i {
+				return
+			}
+			heap[i], heap[w] = heap[w], heap[i]
+			i = w
+		}
+	}
+	for id := range v.Segs {
+		m := &v.Segs[id]
+		if m.State != SegSealed {
+			continue
+		}
+		c := cand{id: int32(id), seq: m.SealSeq, s: score(m)}
+		if len(heap) < max {
+			heap = append(heap, c)
+			// Sift up.
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !worse(heap[i], heap[parent]) {
+					break
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+			continue
+		}
+		if worse(heap[0], c) {
+			heap[0] = c
+			siftDown(0)
+		}
+	}
+	// Order the survivors most-urgent first.
+	slices.SortFunc(heap, func(a, b cand) int {
+		switch {
+		case a.s != b.s && less(a.s, b.s):
+			return -1
+		case a.s != b.s:
+			return 1
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for _, c := range heap {
+		dst = append(dst, c.id)
+	}
+	return dst
+}
+
+func ascending(a, b float64) bool  { return a < b }
+func descending(a, b float64) bool { return a > b }

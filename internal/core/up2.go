@@ -1,0 +1,27 @@
+package core
+
+// NextUp2 applies the update-history carry rule of paper §5.2.2 when a page
+// whose prior version lives in a segment with penultimate-update estimate
+// segUp2 is updated at time now (update-count clock): the prior up1 is
+// assumed midway between now and up2, and with the new update that prior up1
+// becomes the new up2:
+//
+//	new(up2) = old(up2) + 0.5*(now - old(up2))
+//
+// The same value serves three roles: it is carried on the new page version
+// (its sort key for frequency separation), it becomes the source segment's
+// advanced up2, and at seal time the average of the carried values of a
+// segment's members initializes that segment's up2.
+func NextUp2(segUp2 float64, now uint64) float64 {
+	return segUp2 + 0.5*(float64(now)-segUp2)
+}
+
+// EstimatedInterval returns the update-interval estimate unow-up2 used by
+// the Upf = 2/(unow-up2) estimator of §4.3, clamped to at least one tick.
+func EstimatedInterval(up2 float64, now uint64) float64 {
+	iv := float64(now) - up2
+	if iv < 1 {
+		return 1
+	}
+	return iv
+}

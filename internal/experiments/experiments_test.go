@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]Scale{"small": ScaleSmall, "Medium": ScaleMedium, "PAPER": ScalePaper} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if ScaleMedium.String() != "medium" {
+		t.Errorf("String() = %q", ScaleMedium)
+	}
+}
+
+func TestScaleConfigsValid(t *testing.T) {
+	// Every preset must satisfy the simulator's slack validation at the
+	// paper's extreme fill factor with the widest-stream algorithm.
+	for _, s := range []Scale{ScaleSmall, ScaleMedium, ScalePaper} {
+		cfg := s.SimConfig(0.95)
+		slack := cfg.NumSegments - cfg.UserPages()/cfg.SegmentPages
+		if slack < cfg.FreeLowWater+31 {
+			t.Errorf("scale %v: only %d slack segments at F=0.95", s, slack)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Name:   "demo",
+		Title:  "Demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	var md, csv bytes.Buffer
+	tbl.Markdown(&md)
+	tbl.CSV(&csv)
+	if !strings.Contains(md.String(), "| a | b |") || !strings.Contains(md.String(), "| 3 | 4 |") {
+		t.Errorf("markdown rendering wrong:\n%s", md.String())
+	}
+	if !strings.HasPrefix(csv.String(), "a,b\n1,2\n") {
+		t.Errorf("csv rendering wrong:\n%s", csv.String())
+	}
+}
+
+func TestTable1SmallSinglePoint(t *testing.T) {
+	tbl := Table1(ScaleSmall, []float64{0.8}, nil)
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0]) != len(tbl.Header) {
+		t.Fatalf("bad table shape: %+v", tbl)
+	}
+	// Analysis and simulation columns must agree to ~2 digits (the §8.1
+	// claim); both are formatted with 3 decimals.
+	if tbl.Rows[0][2][:4] != tbl.Rows[0][3][:4] && tbl.Rows[0][2][:3] != tbl.Rows[0][3][:3] {
+		t.Errorf("analysis E %s vs sim E %s diverge", tbl.Rows[0][2], tbl.Rows[0][3])
+	}
+}
+
+func TestFig6AtRuns(t *testing.T) {
+	tr := TPCCTrace(ScaleSmall, nil)
+	w := Fig6At(ScaleSmall, tr, 0.7, core.Greedy())
+	if w <= 0 {
+		t.Errorf("Fig6At Wamp = %v", w)
+	}
+}

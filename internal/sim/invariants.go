@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// CheckInvariants verifies the simulator's conservation properties and
+// returns the first violation found:
+//
+//  1. Every page written so far is locatable exactly once (write buffer or a
+//     segment slot whose back-pointer matches).
+//  2. Per segment, Free == Capacity - Live*PageSize and 0 <= Live <= S.
+//  3. The sum of segment Live counts plus buffered pages equals the number
+//     of distinct pages ever written.
+//  4. Segment states partition the store: free-pool members are SegFree,
+//     open-stream members are SegOpen, everything else holding pages is
+//     SegSealed or SegOpen.
+func (s *Sim) CheckInvariants() error {
+	S := uint64(s.cfg.SegmentPages)
+
+	inFree := make(map[int32]bool, len(s.free))
+	for _, id := range s.free {
+		if inFree[id] {
+			return fmt.Errorf("segment %d appears twice in the free pool", id)
+		}
+		inFree[id] = true
+		if st := s.meta[id].State; st != core.SegFree {
+			return fmt.Errorf("segment %d in free pool has state %v", id, st)
+		}
+	}
+	openSegs := make(map[int32]bool)
+	for stream, o := range s.open {
+		if o.id < 0 {
+			continue
+		}
+		openSegs[o.id] = true
+		m := &s.meta[o.id]
+		if m.State != core.SegOpen {
+			return fmt.Errorf("open segment %d (stream %d) has state %v", o.id, stream, m.State)
+		}
+		if m.Stream != int32(stream) {
+			return fmt.Errorf("open segment %d stream mismatch: meta %d vs slot %d", o.id, m.Stream, stream)
+		}
+	}
+
+	liveBySeg := make([]int32, len(s.meta))
+	var located uint64
+	for p := range s.pageLoc {
+		loc := s.pageLoc[p]
+		switch {
+		case loc == 0:
+			continue
+		case loc&bufTag != 0:
+			idx := loc &^ bufTag
+			if idx >= uint64(len(s.buf)) {
+				return fmt.Errorf("page %d buffer index %d out of range %d", p, idx, len(s.buf))
+			}
+			if s.buf[idx].page != uint32(p) {
+				return fmt.Errorf("page %d buffer entry holds page %d", p, s.buf[idx].page)
+			}
+			located++
+		default:
+			g := loc - 1
+			seg := int32(g / S)
+			if int(seg) >= len(s.meta) {
+				return fmt.Errorf("page %d points past segment array (seg %d)", p, seg)
+			}
+			if s.slots[g] != uint32(p) {
+				return fmt.Errorf("page %d slot back-pointer mismatch: slot holds %d", p, s.slots[g])
+			}
+			st := s.meta[seg].State
+			if st != core.SegSealed && st != core.SegOpen {
+				return fmt.Errorf("page %d lives in segment %d with state %v", p, seg, st)
+			}
+			liveBySeg[seg]++
+			located++
+		}
+	}
+
+	var totalLive uint64
+	for id := range s.meta {
+		m := &s.meta[id]
+		if m.Live < 0 || int(m.Live) > s.cfg.SegmentPages {
+			return fmt.Errorf("segment %d live count %d out of range", id, m.Live)
+		}
+		if m.Live != liveBySeg[id] {
+			return fmt.Errorf("segment %d live count %d but %d pages point to it", id, m.Live, liveBySeg[id])
+		}
+		if want := m.Capacity - int64(m.Live)*s.cfg.PageSize; m.Free != want {
+			return fmt.Errorf("segment %d free bytes %d, want %d (live=%d)", id, m.Free, want, m.Live)
+		}
+		if m.State == core.SegFree && m.Live != 0 {
+			return fmt.Errorf("free segment %d holds %d live pages", id, m.Live)
+		}
+		totalLive += uint64(m.Live)
+	}
+	if totalLive+uint64(len(s.buf)) != located {
+		return fmt.Errorf("live accounting mismatch: segments %d + buffered %d != located %d",
+			totalLive, len(s.buf), located)
+	}
+	return nil
+}

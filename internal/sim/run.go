@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Result summarizes one simulation run, measured after warmup.
+//
+// Two write-amplification ratios are reported. Wamp divides the relocated
+// (GC) page writes by the *user updates issued*; this is the quantity the
+// paper's figures plot — it is what makes the Figure 4 write-buffer sweep
+// fall steeply, because updates coalesced inside the write buffer amplify
+// nothing. WampPhysical divides by the user pages that physically reached
+// segments; it equals equation 2's (1-E)/E and matches Wamp exactly when
+// the buffer is disabled.
+type Result struct {
+	Algorithm string
+	Workload  string
+	Fill      float64
+
+	// LogicalUpdates counts user updates issued during measurement.
+	LogicalUpdates uint64
+	// AbsorbedUpdates counts updates coalesced inside the write buffer.
+	AbsorbedUpdates uint64
+	// UserPageWrites counts user pages physically written to segments.
+	UserPageWrites uint64
+	// GCPageWrites counts live pages relocated by cleaning.
+	GCPageWrites uint64
+	// SegmentsCleaned and CleanCycles describe cleaner activity.
+	SegmentsCleaned uint64
+	CleanCycles     uint64
+	// Wamp is GCPageWrites / LogicalUpdates (the paper's figure metric).
+	Wamp float64
+	// WampPhysical is GCPageWrites / UserPageWrites (equation 2).
+	WampPhysical float64
+	// MeanEAtClean is the average emptiness of segments when cleaned — the
+	// quantity Table 1 compares against the analytic fixpoint E.
+	MeanEAtClean float64
+	// CostSeg is the paper's equation 1 cost, 2/E, from MeanEAtClean.
+	CostSeg float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s F=%.3f: Wamp=%.3f (phys %.3f) E@clean=%.3f (updates=%d user=%d gc=%d cleaned=%d)",
+		r.Algorithm, r.Workload, r.Fill, r.Wamp, r.WampPhysical, r.MeanEAtClean,
+		r.LogicalUpdates, r.UserPageWrites, r.GCPageWrites, r.SegmentsCleaned)
+}
+
+// snapshot captures the current counters into a Result.
+func (s *Sim) snapshot() Result {
+	r := Result{
+		Algorithm:       s.alg.Name,
+		Workload:        s.gen.Name(),
+		Fill:            s.cfg.FillFactor,
+		LogicalUpdates:  s.logical,
+		AbsorbedUpdates: s.absorbed,
+		UserPageWrites:  s.userPhys,
+		GCPageWrites:    s.gcPhys,
+		SegmentsCleaned: s.cleaned,
+		CleanCycles:     s.cycles,
+	}
+	if s.logical > 0 {
+		r.Wamp = float64(s.gcPhys) / float64(s.logical)
+	}
+	if s.userPhys > 0 {
+		r.WampPhysical = float64(s.gcPhys) / float64(s.userPhys)
+	}
+	if s.cleaned > 0 {
+		r.MeanEAtClean = s.sumEAtClean / float64(s.cleaned)
+	}
+	if r.MeanEAtClean > 0 {
+		r.CostSeg = 2 / r.MeanEAtClean
+	} else {
+		r.CostSeg = math.Inf(1)
+	}
+	return r
+}
+
+// RunOptions controls the driver loop around a Sim.
+type RunOptions struct {
+	// UpdateMultiple sizes the update stream as a multiple of the user page
+	// count (the paper writes 100x the store size so the write
+	// amplification stabilizes; 50 with half discarded as warmup matches
+	// the stabilized regime at a fraction of the cost). Ignored when the
+	// workload is a finite trace, which always runs to exhaustion.
+	UpdateMultiple float64
+	// WarmupFraction of the updates are excluded from measurement.
+	WarmupFraction float64
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.UpdateMultiple == 0 {
+		o.UpdateMultiple = 50
+	}
+	if o.WarmupFraction == 0 {
+		o.WarmupFraction = 0.5
+	}
+	return o
+}
+
+// Run builds a simulator and drives it to completion: preload the workload's
+// initial pages (ids 0..PreloadPages-1), apply the update stream (sized by
+// opts for synthetic workloads, to exhaustion for traces), reset counters at
+// the end of warmup, and return the measurement-window result.
+func Run(cfg Config, alg core.Algorithm, gen workload.Generator, opts RunOptions) (Result, error) {
+	opts = opts.withDefaults()
+	s, err := New(cfg, alg, gen)
+	if err != nil {
+		return Result{}, err
+	}
+	for p := 0; p < gen.PreloadPages(); p++ {
+		s.Write(uint32(p))
+	}
+
+	if replay, ok := gen.(*workload.Replay); ok {
+		// Finite trace: measure the whole running phase, like §6.3.
+		s.ResetCounters()
+		for {
+			p, ok := replay.Next()
+			if !ok {
+				break
+			}
+			s.Write(p)
+		}
+		return s.snapshot(), nil
+	}
+
+	total := uint64(opts.UpdateMultiple * float64(gen.Universe()))
+	warm := uint64(float64(total) * opts.WarmupFraction)
+	var i uint64
+	for ; i < warm; i++ {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		s.Write(p)
+	}
+	s.ResetCounters()
+	for ; i < total; i++ {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		s.Write(p)
+	}
+	return s.snapshot(), nil
+}

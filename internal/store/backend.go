@@ -1,0 +1,166 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// backend abstracts segment storage: per-segment files on disk, or byte
+// slices in memory (for tests and cache-like deployments).
+type backend interface {
+	// write stores b at off within segment seg.
+	write(seg int, off int64, b []byte) error
+	// read fills b from off within segment seg; short segments read zeros.
+	read(seg int, off int64, b []byte) error
+	// size returns the current byte size of segment seg (0 if absent).
+	size(seg int) (int64, error)
+	// reset discards segment seg's contents.
+	reset(seg int) error
+	// sync makes segment seg durable.
+	sync(seg int) error
+	close() error
+}
+
+// memBackend keeps segments as in-memory byte slices.
+type memBackend struct {
+	segs [][]byte
+}
+
+func newMemBackend(n int) *memBackend { return &memBackend{segs: make([][]byte, n)} }
+
+func (m *memBackend) write(seg int, off int64, b []byte) error {
+	end := off + int64(len(b))
+	if int64(len(m.segs[seg])) < end {
+		grown := make([]byte, end)
+		copy(grown, m.segs[seg])
+		m.segs[seg] = grown
+	}
+	copy(m.segs[seg][off:end], b)
+	return nil
+}
+
+func (m *memBackend) read(seg int, off int64, b []byte) error {
+	data := m.segs[seg]
+	for i := range b {
+		b[i] = 0
+	}
+	if off < int64(len(data)) {
+		copy(b, data[off:])
+	}
+	return nil
+}
+
+func (m *memBackend) size(seg int) (int64, error) { return int64(len(m.segs[seg])), nil }
+
+func (m *memBackend) reset(seg int) error {
+	m.segs[seg] = nil
+	return nil
+}
+
+func (m *memBackend) sync(int) error { return nil }
+func (m *memBackend) close() error   { return nil }
+
+// fileBackend stores one file per segment under a directory.
+type fileBackend struct {
+	dir   string
+	files []*os.File
+}
+
+func newFileBackend(dir string, n int) (*fileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return &fileBackend{dir: dir, files: make([]*os.File, n)}, nil
+}
+
+func (f *fileBackend) path(seg int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("%06d.seg", seg))
+}
+
+func (f *fileBackend) file(seg int) (*os.File, error) {
+	if f.files[seg] != nil {
+		return f.files[seg], nil
+	}
+	fh, err := os.OpenFile(f.path(seg), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening segment %d: %w", seg, err)
+	}
+	f.files[seg] = fh
+	return fh, nil
+}
+
+func (f *fileBackend) write(seg int, off int64, b []byte) error {
+	fh, err := f.file(seg)
+	if err != nil {
+		return err
+	}
+	if _, err := fh.WriteAt(b, off); err != nil {
+		return fmt.Errorf("store: writing segment %d @%d: %w", seg, off, err)
+	}
+	return nil
+}
+
+func (f *fileBackend) read(seg int, off int64, b []byte) error {
+	fh, err := f.file(seg)
+	if err != nil {
+		return err
+	}
+	n, err := fh.ReadAt(b, off)
+	// Reads past the current file size yield zeros, matching memBackend.
+	for i := n; i < len(b); i++ {
+		b[i] = 0
+	}
+	if err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("store: reading segment %d @%d: %w", seg, off, err)
+	}
+	return nil
+}
+
+func (f *fileBackend) size(seg int) (int64, error) {
+	fh, err := f.file(seg)
+	if err != nil {
+		return 0, err
+	}
+	st, err := fh.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("store: stat segment %d: %w", seg, err)
+	}
+	return st.Size(), nil
+}
+
+func (f *fileBackend) reset(seg int) error {
+	fh, err := f.file(seg)
+	if err != nil {
+		return err
+	}
+	if err := fh.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating segment %d: %w", seg, err)
+	}
+	return nil
+}
+
+func (f *fileBackend) sync(seg int) error {
+	if f.files[seg] == nil {
+		return nil
+	}
+	if err := f.files[seg].Sync(); err != nil {
+		return fmt.Errorf("store: syncing segment %d: %w", seg, err)
+	}
+	return nil
+}
+
+func (f *fileBackend) close() error {
+	var first error
+	for _, fh := range f.files {
+		if fh == nil {
+			continue
+		}
+		if err := fh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

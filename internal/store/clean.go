@@ -1,0 +1,334 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// clean runs cleaning cycles until the free pool is back above the
+// low-water mark. Crash safety relies on ordering: every live record of a
+// victim batch is rewritten (and optionally synced) into GC segments BEFORE
+// any victim is released for reuse, so at any instant every live page has at
+// least one intact on-disk copy; recovery picks the highest sequence number.
+func (s *Store) clean() error {
+	s.inGC = true
+	defer func() { s.inGC = false }()
+
+	guard := 0
+	dry := 0
+	for len(s.free) < s.opts.FreeLowWater {
+		n, reclaimed, err := s.cleanCycle()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return ErrFull
+		}
+		// Cycles that only shuffle full segments reclaim nothing: the
+		// store's live data has (nearly) reached physical capacity.
+		if reclaimed == 0 {
+			if dry++; dry >= 2 {
+				return fmt.Errorf("store: live data at physical capacity: %w", ErrFull)
+			}
+		} else {
+			dry = 0
+		}
+		if guard++; guard > 4*s.opts.MaxSegments {
+			return fmt.Errorf("store: cleaning cannot reach %d free segments: %w", s.opts.FreeLowWater, ErrFull)
+		}
+	}
+	return nil
+}
+
+// CleanOnce runs a single cleaning cycle regardless of the low-water mark
+// and returns the number of segments reclaimed.
+func (s *Store) CleanOnce() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: closed")
+	}
+	s.inGC = true
+	defer func() { s.inGC = false }()
+	n, _, err := s.cleanCycle()
+	return n, err
+}
+
+type relocRec struct {
+	page    uint32
+	flags   uint32
+	up2     float64
+	payload []byte
+}
+
+func (s *Store) cleanCycle() (victimCount, reclaimedSlots int, err error) {
+	view := core.View{Now: s.unow, Segs: s.meta}
+	victims := s.alg().Policy.Victims(view, s.opts.CleanBatch, nil)
+	if len(victims) == 0 {
+		return 0, 0, nil
+	}
+
+	// Gather the victims' live records into memory.
+	var relocs []relocRec
+	for _, v := range victims {
+		m := &s.meta[v]
+		if m.State != core.SegSealed {
+			return 0, 0, fmt.Errorf("store: policy %s selected non-sealed segment %d", s.alg().Name, v)
+		}
+		s.sumEAtClean += m.Emptiness()
+		s.cleanedSegs++
+		for slot, si := range s.slots[v] {
+			loc, ok := s.locOf(si.page, si.tombstone)
+			if !ok || loc.seg != v || loc.slot != int32(slot) {
+				continue // stale version
+			}
+			if si.tombstone {
+				if si.seq <= s.prunedSeq {
+					// The deletion is checkpoint-covered: drop the
+					// tombstone RECORD instead of relocating it — but the
+					// deletion itself must stay in the tombstone map (with
+					// no record location) so every future checkpoint keeps
+					// carrying it: stale data records of the page can
+					// survive in not-yet-reused segments, and forgetting
+					// the deletion would let recovery resurrect them.
+					s.tombstones[si.page] = pageLoc{seg: -1, slot: -1, seq: si.seq}
+					continue
+				}
+				relocs = append(relocs, relocRec{page: si.page, flags: flagTombstone, up2: m.Up2})
+				continue
+			}
+			payload := make([]byte, s.opts.PageSize)
+			if err := s.be.read(int(v), s.slotOffset(slot), s.recBuf); err != nil {
+				return 0, 0, err
+			}
+			h, data, err := decodeRecord(s.recBuf)
+			if err != nil {
+				return 0, 0, fmt.Errorf("store: cleaning segment %d slot %d: %w", v, slot, err)
+			}
+			if h.page != si.page || h.seq != si.seq {
+				return 0, 0, fmt.Errorf("store: cleaning segment %d slot %d: record identity mismatch", v, slot)
+			}
+			copy(payload, data)
+			relocs = append(relocs, relocRec{page: si.page, up2: m.Up2, payload: payload})
+		}
+	}
+
+	// Separate relocations by update frequency (§5.3) when the algorithm
+	// asks for it: coldest first by carried up2.
+	if s.alg().SortGC {
+		sort.SliceStable(relocs, func(i, j int) bool { return relocs[i].up2 < relocs[j].up2 })
+	}
+	for _, r := range relocs {
+		if err := s.append(1, r.page, r.flags, r.payload, r.up2); err != nil {
+			return 0, 0, err
+		}
+		s.gcWrites++
+	}
+	// Durability point: relocated copies reach storage before victims are
+	// reused.
+	if s.opts.Sync {
+		if g := s.open[1]; g >= 0 {
+			if err := s.be.sync(int(g)); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	for _, v := range victims {
+		m := &s.meta[v]
+		m.State = core.SegFree
+		m.Live = 0
+		m.Free = m.Capacity
+		m.Up2 = 0
+		s.slots[v] = s.slots[v][:0]
+		s.fill[v] = 0
+		s.free = append(s.free, v)
+	}
+	reclaimed := len(victims)*s.opts.SegmentPages - len(relocs)
+	return len(victims), reclaimed, nil
+}
+
+func (s *Store) alg() core.Algorithm { return s.opts.Algorithm }
+
+// checkpoint file layout: magic (8) | unow (8) | prunedSeq (8) |
+// nDeleted (4) | deleted page ids | nSegs (4) | per-segment up2 | crc (4).
+const checkpointMagic = "LSCKPT01"
+
+type checkpoint struct {
+	unow      uint64
+	prunedSeq uint64
+	deleted   []uint32
+	up2       []float64
+}
+
+func (s *Store) checkpointPath() string { return filepath.Join(s.opts.Dir, "CHECKPOINT") }
+
+// Checkpoint persists the cleaning estimates and the deletion set. After a
+// checkpoint, tombstones covered by it may be pruned during cleaning.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	if s.opts.Dir == "" {
+		// In-memory stores have nothing to persist; pruning is immediate.
+		s.prunedSeq = s.seq
+		return nil
+	}
+	buf := make([]byte, 0, 64+len(s.tombstones)*4+len(s.meta)*8)
+	buf = append(buf, checkpointMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, s.unow)
+	buf = binary.LittleEndian.AppendUint64(buf, s.seq)
+	deleted := make([]uint32, 0, len(s.tombstones))
+	for page := range s.tombstones {
+		deleted = append(deleted, page)
+	}
+	sort.Slice(deleted, func(i, j int) bool { return deleted[i] < deleted[j] })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(deleted)))
+	for _, page := range deleted {
+		buf = binary.LittleEndian.AppendUint32(buf, page)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.meta)))
+	for i := range s.meta {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.meta[i].Up2))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	tmp := s.checkpointPath() + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("store: writing checkpoint: %w", err)
+	}
+	if s.opts.Sync {
+		f, err := os.Open(tmp)
+		if err == nil {
+			f.Sync()
+			f.Close()
+		}
+	}
+	if err := os.Rename(tmp, s.checkpointPath()); err != nil {
+		return fmt.Errorf("store: installing checkpoint: %w", err)
+	}
+	s.prunedSeq = s.seq
+	return nil
+}
+
+// readCheckpoint loads and verifies the checkpoint, returning nil when none
+// exists.
+func (s *Store) readCheckpoint() (*checkpoint, error) {
+	if s.opts.Dir == "" {
+		return nil, nil
+	}
+	buf, err := os.ReadFile(s.checkpointPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: reading checkpoint: %w", err)
+	}
+	if len(buf) < len(checkpointMagic)+8+8+4+4+4 || string(buf[:8]) != checkpointMagic {
+		return nil, fmt.Errorf("store: malformed checkpoint")
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("store: checkpoint checksum mismatch")
+	}
+	ck := &checkpoint{}
+	off := 8
+	ck.unow = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	ck.prunedSeq = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	nDel := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if off+nDel*4+4 > len(body) {
+		return nil, fmt.Errorf("store: truncated checkpoint deletion set")
+	}
+	for i := 0; i < nDel; i++ {
+		ck.deleted = append(ck.deleted, binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+	}
+	nSegs := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if off+nSegs*8 > len(body) {
+		return nil, fmt.Errorf("store: truncated checkpoint segment estimates")
+	}
+	for i := 0; i < nSegs; i++ {
+		ck.up2 = append(ck.up2, math.Float64frombits(binary.LittleEndian.Uint64(body[off:])))
+		off += 8
+	}
+	return ck, nil
+}
+
+// Close seals open segments, checkpoints, and releases resources.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	for stream := int32(0); stream < 2; stream++ {
+		if err := s.seal(stream); err != nil {
+			return err
+		}
+	}
+	if err := s.checkpointLocked(); err != nil {
+		return err
+	}
+	s.closed = true
+	return s.be.close()
+}
+
+// Stats describes store occupancy and cleaning efficiency.
+type Stats struct {
+	LivePages       int
+	Tombstones      int
+	FreeSegments    int
+	SealedSegments  int
+	UserWrites      uint64
+	GCWrites        uint64
+	SegmentsCleaned uint64
+	WriteAmp        float64
+	MeanEAtClean    float64
+	CapacityPages   int
+	FillFactor      float64
+	UpdateClock     uint64
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		LivePages:       len(s.table),
+		Tombstones:      len(s.tombstones),
+		FreeSegments:    len(s.free),
+		UserWrites:      s.userWrites,
+		GCWrites:        s.gcWrites,
+		SegmentsCleaned: s.cleanedSegs,
+		CapacityPages:   s.opts.MaxSegments * s.opts.SegmentPages,
+		UpdateClock:     s.unow,
+	}
+	for i := range s.meta {
+		if s.meta[i].State == core.SegSealed {
+			st.SealedSegments++
+		}
+	}
+	if s.userWrites > 0 {
+		st.WriteAmp = float64(s.gcWrites) / float64(s.userWrites)
+	}
+	if s.cleanedSegs > 0 {
+		st.MeanEAtClean = s.sumEAtClean / float64(s.cleanedSegs)
+	}
+	if st.CapacityPages > 0 {
+		st.FillFactor = float64(st.LivePages) / float64(st.CapacityPages)
+	}
+	return st
+}

@@ -1,0 +1,494 @@
+// Package store is a durable log-structured page store — the kind of system
+// the paper's cleaning analysis targets. Pages are never updated in place:
+// every write appends a checksummed record to an open segment, a mapping
+// table tracks each page's current location, and reclaiming the space of
+// overwritten versions is delegated to the cleaning policies of
+// internal/core (MDC by default), exactly the machinery evaluated by the
+// simulator.
+//
+// Durability model: records are appended with CRC-32C; with Options.Sync
+// every segment seal and checkpoint fsyncs. Recovery scans all segments,
+// keeps the highest-sequence record per page, stops a segment at the first
+// torn or corrupt record, and applies the last checkpoint's deletion set.
+// up2 cleaning estimates are restored from the checkpoint when present and
+// relearned otherwise — they affect only cleaning efficiency, never
+// correctness.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ErrNotFound is returned when reading a page that does not exist.
+var ErrNotFound = errors.New("store: page not found")
+
+// ErrFull is returned when a write cannot proceed because cleaning cannot
+// reclaim enough space (the store is at capacity).
+var ErrFull = errors.New("store: capacity exhausted")
+
+// Options configures a Store.
+type Options struct {
+	// Dir holds segment files and the checkpoint; "" keeps everything in
+	// memory (tests, caches).
+	Dir string
+	// PageSize is the fixed page payload size in bytes (default 4096).
+	PageSize int
+	// SegmentPages is the number of page slots per segment (default 256).
+	SegmentPages int
+	// MaxSegments bounds the physical capacity (default 128).
+	MaxSegments int
+	// Algorithm is the cleaning policy bundle (default core.MDC()).
+	// Exact-rate variants are not supported here: a live store has no
+	// update-rate oracle.
+	Algorithm core.Algorithm
+	// FreeLowWater triggers cleaning when free segments fall below it
+	// (default CleanBatch+4; must exceed CleanBatch so relocations always
+	// have room).
+	FreeLowWater int
+	// CleanBatch is the number of victims per cleaning cycle (default 8).
+	CleanBatch int
+	// Sync fsyncs segment seals and checkpoints (default false).
+	Sync bool
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	if o.SegmentPages == 0 {
+		o.SegmentPages = 256
+	}
+	if o.MaxSegments == 0 {
+		o.MaxSegments = 128
+	}
+	if o.CleanBatch == 0 {
+		o.CleanBatch = 8
+	}
+	if o.FreeLowWater == 0 {
+		o.FreeLowWater = o.CleanBatch + 4
+	}
+	if o.Algorithm.Policy == nil {
+		o.Algorithm = core.MDC()
+	}
+	if o.PageSize < 8 || o.SegmentPages < 2 || o.MaxSegments < o.FreeLowWater+2 {
+		return o, fmt.Errorf("store: invalid geometry %+v", o)
+	}
+	if o.FreeLowWater <= o.CleanBatch {
+		return o, fmt.Errorf("store: FreeLowWater (%d) must exceed CleanBatch (%d) so relocations always fit",
+			o.FreeLowWater, o.CleanBatch)
+	}
+	if o.Algorithm.Exact {
+		return o, fmt.Errorf("store: exact-rate algorithm %s needs a workload oracle; use the estimator variant", o.Algorithm.Name)
+	}
+	if o.Algorithm.Router != nil {
+		return o, fmt.Errorf("store: routed algorithm %s is not supported by the page store", o.Algorithm.Name)
+	}
+	return o, nil
+}
+
+type pageLoc struct {
+	seg  int32
+	slot int32
+	seq  uint64
+}
+
+// Store is a log-structured page store instance. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+	be   backend
+
+	meta  []core.SegmentMeta
+	slots [][]slotInfo // per segment: what each written slot holds
+	fill  []int        // per segment: slots appended so far
+
+	table      map[uint32]pageLoc
+	tombstones map[uint32]pageLoc
+
+	free        []int32
+	open        [2]int32   // user, gc open segments (-1 = none)
+	up2Sum      [2]float64 // carried-up2 accumulator per open segment
+	incarnation uint64
+
+	unow    uint64
+	seq     uint64
+	sealSeq uint64
+
+	prunedSeq uint64 // deletions at or below this seq are checkpoint-covered
+
+	inGC   bool
+	closed bool
+
+	userWrites, gcWrites uint64
+	cleanedSegs          uint64
+	sumEAtClean          float64
+
+	recBuf []byte
+}
+
+type slotInfo struct {
+	page      uint32
+	seq       uint64
+	tombstone bool
+}
+
+// Open creates or recovers a store.
+func Open(opts Options) (*Store, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:       opts,
+		meta:       make([]core.SegmentMeta, opts.MaxSegments),
+		slots:      make([][]slotInfo, opts.MaxSegments),
+		fill:       make([]int, opts.MaxSegments),
+		table:      make(map[uint32]pageLoc),
+		tombstones: make(map[uint32]pageLoc),
+		open:       [2]int32{-1, -1},
+	}
+	s.recBuf = make([]byte, s.recordSize())
+	if opts.Dir == "" {
+		s.be = newMemBackend(opts.MaxSegments)
+	} else {
+		fb, err := newFileBackend(opts.Dir, opts.MaxSegments)
+		if err != nil {
+			return nil, err
+		}
+		s.be = fb
+	}
+	segBytes := int64(opts.SegmentPages) * s.recordSize()
+	for i := range s.meta {
+		s.meta[i].Capacity = segBytes
+		s.meta[i].Free = segBytes
+		s.slots[i] = make([]slotInfo, 0, opts.SegmentPages)
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans every segment, rebuilds the page table from the highest
+// sequence numbers, and applies the checkpoint.
+func (s *Store) recover() error {
+	type hit struct {
+		loc  pageLoc
+		tomb bool
+	}
+	latest := make(map[uint32]hit)
+	var maxSeq, maxInc uint64
+
+	hdr := make([]byte, segHeaderSize)
+	for seg := 0; seg < s.opts.MaxSegments; seg++ {
+		sz, err := s.be.size(seg)
+		if err != nil {
+			return err
+		}
+		if sz < segHeaderSize {
+			s.free = append(s.free, int32(seg))
+			continue
+		}
+		if err := s.be.read(seg, 0, hdr); err != nil {
+			return err
+		}
+		inc, stream, ok := decodeSegHeader(hdr)
+		if !ok {
+			// Unrecognized file: treat as free space but do not destroy it
+			// until the slot is reused.
+			s.free = append(s.free, int32(seg))
+			continue
+		}
+		if inc > maxInc {
+			maxInc = inc
+		}
+		m := &s.meta[seg]
+		m.Stream = stream
+		records := 0
+		for slot := 0; slot < s.opts.SegmentPages; slot++ {
+			if s.slotOffset(slot)+s.recordSize() > sz {
+				break
+			}
+			if err := s.be.read(seg, s.slotOffset(slot), s.recBuf); err != nil {
+				return err
+			}
+			h, _, err := decodeRecord(s.recBuf)
+			if err != nil {
+				break // torn tail: the segment ends here
+			}
+			s.slots[seg] = append(s.slots[seg], slotInfo{page: h.page, seq: h.seq, tombstone: h.flags&flagTombstone != 0})
+			records++
+			if h.seq > maxSeq {
+				maxSeq = h.seq
+			}
+			prev, seen := latest[h.page]
+			if !seen || h.seq > prev.loc.seq {
+				latest[h.page] = hit{
+					loc:  pageLoc{seg: int32(seg), slot: int32(slot), seq: h.seq},
+					tomb: h.flags&flagTombstone != 0,
+				}
+			}
+		}
+		s.fill[seg] = records
+		if records == 0 {
+			s.slots[seg] = s.slots[seg][:0]
+			s.free = append(s.free, int32(seg))
+			continue
+		}
+		// Every recovered segment is re-sealed; fresh writes go to new
+		// segments. Live accounting is finalized below.
+		m.State = core.SegSealed
+		s.sealSeq++
+		m.SealSeq = s.sealSeq
+	}
+	s.seq = maxSeq
+	s.incarnation = maxInc
+
+	ck, ckErr := s.readCheckpoint()
+	if ckErr == nil && ck != nil {
+		s.unow = ck.unow
+		s.prunedSeq = ck.prunedSeq
+		for seg, up2 := range ck.up2 {
+			if seg < len(s.meta) {
+				s.meta[seg].Up2 = up2
+			}
+		}
+		for _, page := range ck.deleted {
+			h, ok := latest[page]
+			if ok && (h.loc.seq > ck.prunedSeq || h.tomb) {
+				// A newer record (rewrite or tombstone) supersedes the
+				// checkpointed deletion.
+				continue
+			}
+			if ok {
+				// The data record predates the checkpointed deletion whose
+				// tombstone record may have been pruned: the page stays
+				// deleted.
+				delete(latest, page)
+			}
+			// Re-adopt the deletion so future checkpoints keep carrying it
+			// until the page is rewritten; there is no record location.
+			s.tombstones[page] = pageLoc{seg: -1, slot: -1, seq: ck.prunedSeq}
+		}
+	}
+	if s.unow == 0 {
+		s.unow = maxSeq // estimates restart from the LSN clock
+	}
+
+	for page, h := range latest {
+		if h.tomb {
+			s.tombstones[page] = h.loc
+		} else {
+			s.table[page] = h.loc
+		}
+	}
+	// Finalize live counts and free bytes per segment.
+	for seg := range s.meta {
+		m := &s.meta[seg]
+		if m.State != core.SegSealed {
+			continue
+		}
+		live := int32(0)
+		for slot, si := range s.slots[seg] {
+			loc, ok := s.locOf(si.page, si.tombstone)
+			if ok && loc.seg == int32(seg) && loc.slot == int32(slot) {
+				live++
+			}
+		}
+		m.Live = live
+		m.Free = m.Capacity - int64(live)*s.recordSize()
+	}
+	return nil
+}
+
+func (s *Store) locOf(page uint32, tomb bool) (pageLoc, bool) {
+	if tomb {
+		l, ok := s.tombstones[page]
+		return l, ok
+	}
+	l, ok := s.table[page]
+	return l, ok
+}
+
+// ReadPage copies page id's current contents into buf (PageSize bytes) and
+// verifies the record checksum and identity.
+func (s *Store) ReadPage(id uint32, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if len(buf) < s.opts.PageSize {
+		return fmt.Errorf("store: buffer %d smaller than page size %d", len(buf), s.opts.PageSize)
+	}
+	loc, ok := s.table[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if err := s.be.read(int(loc.seg), s.slotOffset(int(loc.slot)), s.recBuf); err != nil {
+		return err
+	}
+	h, payload, err := decodeRecord(s.recBuf)
+	if err != nil {
+		return err
+	}
+	if h.page != id || h.seq != loc.seq {
+		return fmt.Errorf("store: mapping corruption for page %d: record holds page %d seq %d, table says seq %d",
+			id, h.page, h.seq, loc.seq)
+	}
+	copy(buf[:s.opts.PageSize], payload)
+	return nil
+}
+
+// WritePage stores data (PageSize bytes) as page id's new current version.
+func (s *Store) WritePage(id uint32, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if len(data) != s.opts.PageSize {
+		return fmt.Errorf("store: page data %d bytes, want %d", len(data), s.opts.PageSize)
+	}
+	s.unow++
+	carried := s.invalidate(id)
+	delete(s.tombstones, id) // a rewrite supersedes any pending deletion
+	if err := s.append(0, id, 0, data, carried); err != nil {
+		return err
+	}
+	s.userWrites++
+	return nil
+}
+
+// DeletePage removes page id, writing a tombstone so the deletion survives
+// recovery.
+func (s *Store) DeletePage(id uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if _, ok := s.table[id]; !ok {
+		return ErrNotFound
+	}
+	s.unow++
+	carried := s.invalidate(id)
+	delete(s.table, id)
+	return s.append(0, id, flagTombstone, nil, carried)
+}
+
+// invalidate releases page id's current version, advancing its segment's
+// up2 estimate per §5.2.2 and returning the carried value for the new
+// version (zero for a first write).
+func (s *Store) invalidate(id uint32) float64 {
+	loc, ok := s.table[id]
+	if !ok {
+		return 0
+	}
+	m := &s.meta[loc.seg]
+	carried := core.NextUp2(m.Up2, s.unow)
+	m.Up2 = carried
+	m.Live--
+	m.Free += s.recordSize()
+	delete(s.table, id)
+	return carried
+}
+
+// append writes one record to stream's open segment, carrying the page's
+// up2 estimate into the segment's seal-time average.
+func (s *Store) append(stream int32, id uint32, flags uint32, payload []byte, carried float64) error {
+	if s.open[stream] < 0 {
+		if !s.inGC && len(s.free) < s.opts.FreeLowWater {
+			if err := s.clean(); err != nil {
+				return err
+			}
+		}
+		seg, err := s.openSegment(stream)
+		if err != nil {
+			return err
+		}
+		s.open[stream] = seg
+	}
+	seg := s.open[stream]
+	slot := s.fill[seg]
+	s.seq++
+	encodeRecord(s.recBuf, recordHeader{page: id, flags: flags, seq: s.seq}, payload)
+	if err := s.be.write(int(seg), s.slotOffset(slot), s.recBuf); err != nil {
+		return err
+	}
+	s.slots[seg] = append(s.slots[seg], slotInfo{page: id, seq: s.seq, tombstone: flags&flagTombstone != 0})
+	s.fill[seg]++
+	s.up2Sum[stream] += carried
+	m := &s.meta[seg]
+	m.Live++
+	m.Free -= s.recordSize()
+	loc := pageLoc{seg: seg, slot: int32(slot), seq: s.seq}
+	if flags&flagTombstone != 0 {
+		s.tombstones[id] = loc
+	} else {
+		s.table[id] = loc
+	}
+	if s.fill[seg] == s.opts.SegmentPages {
+		return s.seal(stream)
+	}
+	return nil
+}
+
+// openSegment takes a free segment and writes its header.
+func (s *Store) openSegment(stream int32) (int32, error) {
+	if len(s.free) == 0 {
+		return -1, ErrFull
+	}
+	seg := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	if err := s.be.reset(int(seg)); err != nil {
+		return -1, err
+	}
+	s.incarnation++
+	hdr := make([]byte, segHeaderSize)
+	encodeSegHeader(hdr, s.incarnation, stream)
+	if err := s.be.write(int(seg), 0, hdr); err != nil {
+		return -1, err
+	}
+	m := &s.meta[seg]
+	*m = core.SegmentMeta{
+		Capacity: int64(s.opts.SegmentPages) * s.recordSize(),
+		Free:     int64(s.opts.SegmentPages) * s.recordSize(),
+		Stream:   stream,
+		State:    core.SegOpen,
+	}
+	s.slots[seg] = s.slots[seg][:0]
+	s.fill[seg] = 0
+	s.up2Sum[stream] = 0
+	return seg, nil
+}
+
+// seal closes a stream's open segment: average up2 initialization and an
+// optional fsync.
+func (s *Store) seal(stream int32) error {
+	seg := s.open[stream]
+	if seg < 0 {
+		return nil
+	}
+	m := &s.meta[seg]
+	m.State = core.SegSealed
+	s.sealSeq++
+	m.SealSeq = s.sealSeq
+	m.SealTime = s.unow
+	// §5.2.2: a sealed segment's up2 starts as the average carried up2 of
+	// its members.
+	if s.fill[seg] > 0 {
+		m.Up2 = s.up2Sum[stream] / float64(s.fill[seg])
+	}
+	s.open[stream] = -1
+	s.up2Sum[stream] = 0
+	if s.opts.Sync {
+		return s.be.sync(int(seg))
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package tpcc
+
+// Key encodings. Each table has its own B+-tree, so keys only need to be
+// unique within a table. Composite keys pack (warehouse, district, ...)
+// fields into a uint64, high fields first so range scans follow the natural
+// clustering of the schema.
+
+// wd packs warehouse and district (district < 16).
+func wd(w, d int) uint64 { return uint64(w)<<4 | uint64(d) }
+
+func keyWarehouse(w int) uint64 { return uint64(w) }
+
+func keyDistrict(w, d int) uint64 { return wd(w, d) }
+
+func keyCustomer(w, d, c int) uint64 { return wd(w, d)<<20 | uint64(c) }
+
+// keyCustName indexes customers by (w, d, lastNameHash, c). Payment and
+// Order-Status select by last name via a range scan over the hash prefix.
+func keyCustName(w, d int, nameHash uint64, c int) uint64 {
+	return wd(w, d)<<40 | (nameHash&0xFFFFFF)<<16 | uint64(c)
+}
+
+func keyOrder(w, d int, o uint64) uint64 { return wd(w, d)<<32 | o }
+
+// keyOrderCust indexes orders by customer with the order id bit-inverted so
+// an ascending scan yields the most recent order first (Order-Status reads
+// "the customer's last order").
+func keyOrderCust(w, d, c int, o uint64) uint64 {
+	return wd(w, d)<<44 | uint64(c)<<24 | (^o)&0xFFFFFF
+}
+
+func keyNewOrder(w, d int, o uint64) uint64 { return wd(w, d)<<32 | o }
+
+func keyOrderLine(w, d int, o uint64, ol int) uint64 {
+	return wd(w, d)<<36 | o<<4 | uint64(ol)
+}
+
+func keyItem(i int) uint64 { return uint64(i) }
+
+func keyStock(w, i int) uint64 { return uint64(w)<<20 | uint64(i) }
+
+// lastNameHash buckets customers into the 1000 TPC-C last-name syllable
+// combinations (names are generated from 3 of 10 syllables).
+func lastNameHash(n uint64) uint64 { return n % 1000 }

@@ -1,0 +1,250 @@
+package tpcc
+
+import (
+	"repro/internal/bufferpool"
+	"repro/internal/trace"
+)
+
+// nuRand is the TPC-C non-uniform random function NURand(A, x, y).
+func (e *Engine) nuRand(a uint64, c uint64, x, y int) int {
+	r1 := uint64(e.r.IntN(int(a) + 1))
+	r2 := uint64(x + e.r.IntN(y-x+1))
+	return int(((r1|r2)+c)%uint64(y-x+1)) + x
+}
+
+func (e *Engine) randCustomer() int {
+	return e.nuRand(1023, e.cID, 1, e.cfg.CustomersPerDistrict)
+}
+
+func (e *Engine) randItem() int {
+	return e.nuRand(8191, e.cOLI, 1, e.cfg.Items)
+}
+
+func (e *Engine) randDistrict() int { return 1 + e.r.IntN(e.cfg.DistrictsPerWarehouse) }
+
+// Run executes n transactions at the standard TPC-C mix, checkpointing per
+// the configuration.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.RunOne()
+	}
+}
+
+// RunOne executes a single transaction drawn from the standard mix and
+// returns its type.
+func (e *Engine) RunOne() Tx {
+	w := 1 + e.r.IntN(e.cfg.Warehouses)
+	var tx Tx
+	switch p := e.r.IntN(100); {
+	case p < 45:
+		tx = TxNewOrder
+		e.newOrderTx(w)
+	case p < 88:
+		tx = TxPayment
+		e.paymentTx(w)
+	case p < 92:
+		tx = TxOrderStatus
+		e.orderStatusTx(w)
+	case p < 96:
+		tx = TxDelivery
+		e.deliveryTx(w)
+	default:
+		tx = TxStockLevel
+		e.stockLevelTx(w)
+	}
+	e.txCounts[tx]++
+	e.txSinceCkp++
+	if e.cfg.CheckpointEveryTx > 0 && e.txSinceCkp >= e.cfg.CheckpointEveryTx {
+		e.pool.FlushDirty()
+		e.txSinceCkp = 0
+	}
+	return tx
+}
+
+// newOrderTx: read warehouse and customer, advance the district's next
+// order id, insert the order with 5-15 order lines, updating stock per line.
+// 1% of new orders abort on an unused item id after the reads, per the spec.
+func (e *Engine) newOrderTx(w int) {
+	d := e.randDistrict()
+	c := e.randCustomer()
+	e.warehouse.Get(keyWarehouse(w))
+	e.district.Insert(keyDistrict(w, d), e.pad(rowDistrict)) // next_o_id++
+	e.customer.Get(keyCustomer(w, d, c))
+
+	lines := 5 + e.r.IntN(11)
+	abort := e.r.IntN(100) == 0
+	for ol := 1; ol <= lines; ol++ {
+		if abort && ol == lines {
+			// Invalid item: the transaction rolls back after its reads.
+			return
+		}
+		i := e.randItem()
+		sw := w
+		if e.cfg.Warehouses > 1 && e.r.IntN(100) == 0 {
+			// 1% of lines are supplied by a remote warehouse.
+			sw = 1 + e.r.IntN(e.cfg.Warehouses)
+		}
+		e.item.Get(keyItem(i))
+		e.stock.Insert(keyStock(sw, i), e.pad(rowStock)) // quantity update
+	}
+	o := e.takeOID(w, d)
+	e.orders.Insert(keyOrder(w, d, o), e.pad(rowOrder))
+	e.orderCust.Insert(keyOrderCust(w, d, c, o), e.pad(rowIndex))
+	e.newOrder.Insert(keyNewOrder(w, d, o), e.pad(rowNewOrder))
+	for ol := 1; ol <= lines; ol++ {
+		e.orderLine.Insert(keyOrderLine(w, d, o, ol), e.pad(rowOrderLine))
+	}
+}
+
+// paymentTx: update warehouse and district YTD, select the customer (60% by
+// last name via the name index, 15% of customers remote), update the
+// customer's balance and insert a history row.
+func (e *Engine) paymentTx(w int) {
+	d := e.randDistrict()
+	cw, cd := w, d
+	if e.cfg.Warehouses > 1 && e.r.IntN(100) < 15 {
+		for cw == w {
+			cw = 1 + e.r.IntN(e.cfg.Warehouses)
+		}
+		cd = e.randDistrict()
+	}
+	e.warehouse.Insert(keyWarehouse(w), e.pad(rowWarehouse)) // w_ytd
+	e.district.Insert(keyDistrict(w, d), e.pad(rowDistrict)) // d_ytd
+
+	c := e.selectCustomer(cw, cd)
+	e.customer.Insert(keyCustomer(cw, cd, c), e.pad(rowCustomer))
+	e.history.Insert(e.histSeq, e.pad(rowHistory))
+	e.histSeq++
+}
+
+// selectCustomer picks a customer 60% by last name (range scan on the name
+// index, middle match per the spec) and 40% by id.
+func (e *Engine) selectCustomer(w, d int) int {
+	if e.r.IntN(100) < 60 {
+		h := lastNameHash(uint64(e.nuRand(255, e.cLast, 0, 999)))
+		var ids []int
+		e.custName.Scan(keyCustName(w, d, h, 0), keyCustName(w, d, h, 1<<16-1),
+			func(k uint64, _ []byte) bool {
+				ids = append(ids, int(k&0xFFFF))
+				return true
+			})
+		if len(ids) > 0 {
+			return ids[len(ids)/2]
+		}
+	}
+	return e.randCustomer()
+}
+
+// orderStatusTx: read the customer, their most recent order, and its lines.
+func (e *Engine) orderStatusTx(w int) {
+	d := e.randDistrict()
+	c := e.selectCustomer(w, d)
+	e.customer.Get(keyCustomer(w, d, c))
+
+	var o uint64
+	found := false
+	e.orderCust.Scan(keyOrderCust(w, d, c, 0xFFFFFF), keyOrderCust(w, d, c, 0),
+		func(k uint64, _ []byte) bool {
+			o = (^k) & 0xFFFFFF
+			found = true
+			return false // first hit is the latest order
+		})
+	if !found {
+		return
+	}
+	e.orders.Get(keyOrder(w, d, o))
+	e.orderLine.Scan(keyOrderLine(w, d, o, 0), keyOrderLine(w, d, o, 15),
+		func(uint64, []byte) bool { return true })
+}
+
+// deliveryTx: for each district, deliver the oldest undelivered order:
+// remove its new-order row, stamp the order and its lines, update the
+// customer balance.
+func (e *Engine) deliveryTx(w int) {
+	for d := 1; d <= e.cfg.DistrictsPerWarehouse; d++ {
+		var o uint64
+		found := false
+		e.newOrder.Scan(keyNewOrder(w, d, 0), keyNewOrder(w, d, 1<<32-1),
+			func(k uint64, _ []byte) bool {
+				o = k & 0xFFFFFFFF
+				found = true
+				return false
+			})
+		if !found {
+			continue
+		}
+		e.newOrder.Delete(keyNewOrder(w, d, o))
+		e.orders.Insert(keyOrder(w, d, o), e.pad(rowOrder)) // carrier id
+		lines := 0
+		e.orderLine.Scan(keyOrderLine(w, d, o, 0), keyOrderLine(w, d, o, 15),
+			func(uint64, []byte) bool { lines++; return true })
+		for ol := 1; ol <= lines; ol++ {
+			e.orderLine.Insert(keyOrderLine(w, d, o, ol), e.pad(rowOrderLine)) // delivery date
+		}
+		// The order's customer: approximate with a NURand pick (the order
+		// row is padding, so the original customer id is not recorded).
+		e.customer.Insert(keyCustomer(w, d, e.randCustomer()), e.pad(rowCustomer))
+	}
+}
+
+// stockLevelTx: examine the order lines of the district's last 20 orders
+// and read the stock rows of their items.
+func (e *Engine) stockLevelTx(w int) {
+	d := e.randDistrict()
+	e.district.Get(keyDistrict(w, d))
+	last := e.lastOID(w, d)
+	lo := uint64(1)
+	if last > 20 {
+		lo = last - 20
+	}
+	// Items are padding, so item ids are sampled deterministically from the
+	// keys; insertion order is kept so the run is reproducible.
+	distinct := make([]int, 0, 40)
+	e.orderLine.Scan(keyOrderLine(w, d, lo, 0), keyOrderLine(w, d, last, 15),
+		func(k uint64, _ []byte) bool {
+			item := int(k%uint64(e.cfg.Items)) + 1
+			for _, seen := range distinct {
+				if seen == item {
+					return true
+				}
+			}
+			distinct = append(distinct, item)
+			return len(distinct) < 40
+		})
+	for _, i := range distinct {
+		e.stock.Get(keyStock(w, i))
+	}
+}
+
+// Trace returns the page-write trace of the run phase: the writes issued
+// after the initial load, over the page universe allocated so far. The
+// preload set is the database as of the end of load.
+func (e *Engine) Trace() *trace.Trace {
+	e.pool.FlushDirty()
+	all := e.pool.Writes()
+	return &trace.Trace{
+		Universe: int(e.pool.MaxPageID()),
+		Preload:  e.loadPages,
+		Writes:   all[e.loadWrites:],
+	}
+}
+
+// Stats summarizes an engine run.
+type Stats struct {
+	Pool       bufferpool.Stats
+	LoadPages  int
+	TotalPages int
+	TxCounts   [5]uint64
+	RunWrites  int
+}
+
+// Stats returns engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Pool:       e.pool.Stats(),
+		LoadPages:  e.loadPages,
+		TotalPages: int(e.pool.MaxPageID()),
+		TxCounts:   e.txCounts,
+		RunWrites:  len(e.pool.Writes()) - e.loadWrites,
+	}
+}

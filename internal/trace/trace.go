@@ -1,0 +1,160 @@
+// Package trace encodes and decodes page-write traces: the I/O recordings
+// that couple the TPC-C/B+-tree substrate to the log-structure simulator,
+// standing in for the traces the paper collected from its storage engine
+// (§6.3).
+//
+// The format is a small binary container: a magic header, the page universe
+// and preload counts, then varint-delta-encoded page ids (most traces have
+// strong locality, so deltas compress well), finished with a CRC-32C of the
+// payload.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic identifies a trace stream.
+const Magic = "LSTR1\n"
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Trace is a decoded page-write trace.
+type Trace struct {
+	// Universe is the page id space size (max id + 1).
+	Universe int
+	// Preload is the number of pages (ids 0..Preload-1) live before the
+	// trace's first write.
+	Preload int
+	// Writes is the ordered page-write sequence.
+	Writes []uint32
+}
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write encodes t to w.
+func Write(w io.Writer, t *Trace) error {
+	if t.Universe < 0 || t.Preload < 0 || t.Preload > t.Universe {
+		return fmt.Errorf("trace: invalid header universe=%d preload=%d", t.Universe, t.Preload)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	crc := crc32.New(castagnoli)
+	out := io.MultiWriter(bw, crc)
+
+	if _, err := io.WriteString(out, Magic); err != nil {
+		return fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var hdr [8]byte
+	var buf [binary.MaxVarintLen64]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(t.Universe))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(t.Preload))
+	if _, err := out.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	n := binary.PutUvarint(buf[:], uint64(len(t.Writes)))
+	if _, err := out.Write(buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing count: %w", err)
+	}
+	prev := int64(0)
+	for _, p := range t.Writes {
+		if int(p) >= t.Universe {
+			return fmt.Errorf("trace: page %d outside universe %d", p, t.Universe)
+		}
+		n := binary.PutUvarint(buf[:], zigzag(int64(p)-prev))
+		if _, err := out.Write(buf[:n]); err != nil {
+			return fmt.Errorf("trace: writing delta: %w", err)
+		}
+		prev = int64(p)
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], crc.Sum32())
+	if _, err := bw.Write(hdr[0:4]); err != nil {
+		return fmt.Errorf("trace: writing checksum: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a trace from r, verifying magic and checksum.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	crc := crc32.New(castagnoli)
+	tee := &teeByteReader{r: br, crc: crc}
+
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(tee, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(tee, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	t := &Trace{
+		Universe: int(binary.LittleEndian.Uint32(hdr[0:4])),
+		Preload:  int(binary.LittleEndian.Uint32(hdr[4:8])),
+	}
+	if t.Preload > t.Universe {
+		return nil, fmt.Errorf("trace: preload %d exceeds universe %d", t.Preload, t.Universe)
+	}
+	count, err := binary.ReadUvarint(tee)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxWrites = 1 << 33
+	if count > maxWrites {
+		return nil, fmt.Errorf("trace: implausible write count %d", count)
+	}
+	t.Writes = make([]uint32, 0, count)
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		u, err := binary.ReadUvarint(tee)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading write %d: %w", i, err)
+		}
+		prev += unzigzag(u)
+		if prev < 0 || prev >= int64(t.Universe) {
+			return nil, fmt.Errorf("trace: write %d decodes to page %d outside universe %d", i, prev, t.Universe)
+		}
+		t.Writes = append(t.Writes, uint32(prev))
+	}
+	want := crc.Sum32()
+	if _, err := io.ReadFull(br, hdr[0:4]); err != nil {
+		return nil, fmt.Errorf("trace: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != want {
+		return nil, fmt.Errorf("trace: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return t, nil
+}
+
+// teeByteReader hashes every byte it yields.
+type teeByteReader struct {
+	r   *bufio.Reader
+	crc io.Writer
+}
+
+func (t *teeByteReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+func (t *teeByteReader) ReadByte() (byte, error) {
+	b, err := t.r.ReadByte()
+	if err == nil {
+		t.crc.Write([]byte{b})
+	}
+	return b, err
+}

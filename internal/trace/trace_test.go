@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := &Trace{Universe: 1000, Preload: 600, Writes: []uint32{5, 999, 0, 5, 5, 123}}
+	got := roundTrip(t, tr)
+	if got.Universe != tr.Universe || got.Preload != tr.Preload {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Writes) != len(tr.Writes) {
+		t.Fatalf("writes length %d, want %d", len(got.Writes), len(tr.Writes))
+	}
+	for i := range got.Writes {
+		if got.Writes[i] != tr.Writes[i] {
+			t.Fatalf("write %d = %d, want %d", i, got.Writes[i], tr.Writes[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	got := roundTrip(t, &Trace{Universe: 10, Preload: 10})
+	if len(got.Writes) != 0 {
+		t.Fatalf("expected no writes, got %d", len(got.Writes))
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	err := quick.Check(func(n uint16, universe uint16) bool {
+		u := int(universe)%5000 + 1
+		writes := make([]uint32, int(n)%2000)
+		for i := range writes {
+			writes[i] = uint32(r.IntN(u))
+		}
+		tr := &Trace{Universe: u, Preload: u / 2, Writes: writes}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got.Writes) != len(writes) {
+			return false
+		}
+		for i := range writes {
+			if got.Writes[i] != writes[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	tr := &Trace{Universe: 100, Preload: 50, Writes: []uint32{1, 2, 3, 4, 5}}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one payload byte (past magic+header).
+	data[len(Magic)+9] ^= 0xff
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted trace read successfully")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOTATRACE....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	tr := &Trace{Universe: 100, Preload: 50, Writes: []uint32{1, 2, 3}}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 1; cut < len(data); cut += 3 {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Trace{Universe: 10, Preload: 20}); err == nil {
+		t.Error("preload > universe accepted")
+	}
+	if err := Write(&buf, &Trace{Universe: 10, Preload: 0, Writes: []uint32{10}}); err == nil {
+		t.Error("out-of-universe write accepted")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, d := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(d)); got != d {
+			t.Errorf("zigzag round trip of %d = %d", d, got)
+		}
+	}
+}

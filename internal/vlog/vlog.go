@@ -1,0 +1,427 @@
+// Package vlog is an in-memory log-structured key-value store with
+// variable-size records — log-structured memory in the style of RAMCloud
+// (which the paper cites as a system whose cleaning MDC would improve) and
+// of the value logs used by key-value separated LSM designs (WiscKey,
+// HashKV).
+//
+// Values of arbitrary sizes are appended to fixed-size segments; an
+// in-memory index maps keys to their current location; overwritten and
+// deleted records become garbage that the cleaning policies of
+// internal/core reclaim. Because records vary in size, victim priority uses
+// the variable-size declining-cost form of paper §4.4 — the (B-A)/C average
+// live record size is exactly the 1/C factor in core.DecliningCost.
+package vlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ErrFull means cleaning cannot reclaim enough space for the write.
+var ErrFull = errors.New("vlog: capacity exhausted")
+
+// ErrTooLarge means a record exceeds the segment capacity.
+var ErrTooLarge = errors.New("vlog: record larger than a segment")
+
+// Options configures a Store.
+type Options struct {
+	// SegmentBytes is the segment capacity (default 1 MiB).
+	SegmentBytes int
+	// MaxSegments bounds total memory (default 64).
+	MaxSegments int
+	// Algorithm is the cleaning policy (default core.MDC()); exact-rate and
+	// routed variants are rejected, as in the page store.
+	Algorithm core.Algorithm
+	// FreeLowWater triggers cleaning below this many free segments
+	// (default CleanBatch+2).
+	FreeLowWater int
+	// CleanBatch is the victim count per cycle (default 4).
+	CleanBatch int
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.MaxSegments == 0 {
+		o.MaxSegments = 64
+	}
+	if o.CleanBatch == 0 {
+		o.CleanBatch = 4
+	}
+	if o.FreeLowWater == 0 {
+		o.FreeLowWater = o.CleanBatch + 2
+	}
+	if o.Algorithm.Policy == nil {
+		o.Algorithm = core.MDC()
+	}
+	if o.SegmentBytes < 64 || o.MaxSegments < o.FreeLowWater+2 {
+		return o, fmt.Errorf("vlog: invalid geometry %+v", o)
+	}
+	if o.FreeLowWater <= o.CleanBatch {
+		return o, fmt.Errorf("vlog: FreeLowWater (%d) must exceed CleanBatch (%d)", o.FreeLowWater, o.CleanBatch)
+	}
+	if o.Algorithm.Exact || o.Algorithm.Router != nil {
+		return o, fmt.Errorf("vlog: algorithm %s is not supported (needs an oracle or routing)", o.Algorithm.Name)
+	}
+	return o, nil
+}
+
+// record layout: keyLen u16 | valLen u32 | key | value
+const recHeader = 6
+
+type loc struct {
+	seg int32
+	off int32
+}
+
+type openSeg struct {
+	id     int32
+	off    int
+	count  int
+	up2Sum float64
+}
+
+// Store is an in-memory log-structured KV store. Safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	opts Options
+
+	segs [][]byte
+	meta []core.SegmentMeta
+	fill []int // valid bytes per segment
+
+	index map[string]loc
+	free  []int32
+	open  [2]openSeg
+
+	unow    uint64
+	sealSeq uint64
+
+	userWrites, gcWrites          uint64
+	userBytes, gcBytes, liveBytes uint64
+	cleanedSegs                   uint64
+	sumEAtClean                   float64
+}
+
+// New creates a store.
+func New(opts Options) (*Store, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:  opts,
+		segs:  make([][]byte, opts.MaxSegments),
+		meta:  make([]core.SegmentMeta, opts.MaxSegments),
+		fill:  make([]int, opts.MaxSegments),
+		index: make(map[string]loc),
+		open:  [2]openSeg{{id: -1}, {id: -1}},
+	}
+	for i := range s.meta {
+		s.meta[i].Capacity = int64(opts.SegmentBytes)
+		s.meta[i].Free = int64(opts.SegmentBytes)
+	}
+	for i := opts.MaxSegments - 1; i >= 0; i-- {
+		s.free = append(s.free, int32(i))
+	}
+	return s, nil
+}
+
+func recSize(key string, valLen int) int { return recHeader + len(key) + valLen }
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	_, val := s.decode(l)
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true
+}
+
+// decode parses the record at l.
+func (s *Store) decode(l loc) (key string, val []byte) {
+	b := s.segs[l.seg][l.off:]
+	kl := int(binary.LittleEndian.Uint16(b[0:2]))
+	vl := int(binary.LittleEndian.Uint32(b[2:6]))
+	return string(b[recHeader : recHeader+kl]), b[recHeader+kl : recHeader+kl+vl]
+}
+
+// Put stores value under key, replacing any existing value.
+func (s *Store) Put(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size := recSize(key, len(value))
+	if size > s.opts.SegmentBytes {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, s.opts.SegmentBytes)
+	}
+	s.unow++
+	carried := s.invalidate(key)
+	if err := s.append(0, key, value, carried); err != nil {
+		return err
+	}
+	s.userWrites++
+	s.userBytes += uint64(size)
+	s.liveBytes += uint64(size)
+	return nil
+}
+
+// Delete removes key. Deleting an absent key is a no-op: the store is
+// volatile, so no tombstone is needed.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unow++
+	s.invalidate(key)
+	delete(s.index, key)
+}
+
+// invalidate releases key's current record and returns the carried up2.
+func (s *Store) invalidate(key string) float64 {
+	l, ok := s.index[key]
+	if !ok {
+		return 0
+	}
+	k, v := s.decode(l)
+	m := &s.meta[l.seg]
+	carried := core.NextUp2(m.Up2, s.unow)
+	m.Up2 = carried
+	m.Live--
+	size := int64(recSize(k, len(v)))
+	m.Free += size
+	s.liveBytes -= uint64(size)
+	delete(s.index, key)
+	return carried
+}
+
+// append writes a record into stream's open segment.
+func (s *Store) append(stream int32, key string, value []byte, carried float64) error {
+	size := recSize(key, len(value))
+	o := &s.open[stream]
+	if o.id >= 0 && o.off+size > s.opts.SegmentBytes {
+		s.seal(stream)
+	}
+	if o.id < 0 {
+		if stream == 0 && len(s.free) < s.opts.FreeLowWater {
+			if err := s.clean(); err != nil {
+				return err
+			}
+		}
+		if len(s.free) == 0 {
+			return ErrFull
+		}
+		id := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		if s.segs[id] == nil {
+			s.segs[id] = make([]byte, s.opts.SegmentBytes)
+		}
+		s.meta[id] = core.SegmentMeta{
+			Capacity: int64(s.opts.SegmentBytes),
+			Free:     int64(s.opts.SegmentBytes),
+			Stream:   stream,
+			State:    core.SegOpen,
+		}
+		s.fill[id] = 0
+		*o = openSeg{id: id}
+	}
+	b := s.segs[o.id][o.off:]
+	binary.LittleEndian.PutUint16(b[0:2], uint16(len(key)))
+	binary.LittleEndian.PutUint32(b[2:6], uint32(len(value)))
+	copy(b[recHeader:], key)
+	copy(b[recHeader+len(key):], value)
+	s.index[key] = loc{seg: o.id, off: int32(o.off)}
+	o.off += size
+	o.count++
+	o.up2Sum += carried
+	s.fill[o.id] = o.off
+	m := &s.meta[o.id]
+	m.Live++
+	m.Free -= int64(size)
+	return nil
+}
+
+// seal closes a stream's open segment and installs the average carried up2
+// (§5.2.2).
+func (s *Store) seal(stream int32) {
+	o := &s.open[stream]
+	if o.id < 0 {
+		return
+	}
+	m := &s.meta[o.id]
+	m.State = core.SegSealed
+	s.sealSeq++
+	m.SealSeq = s.sealSeq
+	m.SealTime = s.unow
+	if o.count > 0 {
+		m.Up2 = o.up2Sum / float64(o.count)
+	}
+	*o = openSeg{id: -1}
+}
+
+type reloc struct {
+	key string
+	val []byte
+	up2 float64
+}
+
+// clean reclaims space until the free pool is back above the low-water
+// mark, relocating live records sorted coldest-first when the algorithm
+// separates GC writes.
+func (s *Store) clean() error {
+	guard := 0
+	dry := 0
+	for len(s.free) < s.opts.FreeLowWater {
+		view := core.View{Now: s.unow, Segs: s.meta}
+		victims := s.opts.Algorithm.Policy.Victims(view, s.opts.CleanBatch, nil)
+		if len(victims) == 0 {
+			return ErrFull
+		}
+		var relocs []reloc
+		var liveBytes int
+		for _, v := range victims {
+			m := &s.meta[v]
+			s.sumEAtClean += m.Emptiness()
+			s.cleanedSegs++
+			off := 0
+			for off < s.fill[v] {
+				l := loc{seg: v, off: int32(off)}
+				key, val := s.decode(l)
+				size := recSize(key, len(val))
+				if cur, ok := s.index[key]; ok && cur == l {
+					relocs = append(relocs, reloc{key: key, val: val, up2: m.Up2})
+					liveBytes += size
+				}
+				off += size
+			}
+		}
+		if s.opts.Algorithm.SortGC {
+			sort.SliceStable(relocs, func(i, j int) bool { return relocs[i].up2 < relocs[j].up2 })
+		}
+		// Free victims only after their live records are copied out; the
+		// relocation buffers alias victim memory, so copy before reuse.
+		for _, r := range relocs {
+			v := make([]byte, len(r.val))
+			copy(v, r.val)
+			if err := s.append(1, r.key, v, r.up2); err != nil {
+				return err
+			}
+			s.gcWrites++
+			s.gcBytes += uint64(recSize(r.key, len(v)))
+		}
+		for _, v := range victims {
+			m := &s.meta[v]
+			m.State = core.SegFree
+			m.Live = 0
+			m.Free = m.Capacity
+			m.Up2 = 0
+			s.fill[v] = 0
+			s.free = append(s.free, v)
+		}
+		if liveBytes == len(victims)*s.opts.SegmentBytes {
+			if dry++; dry >= 2 {
+				return fmt.Errorf("vlog: live data at capacity: %w", ErrFull)
+			}
+		} else {
+			dry = 0
+		}
+		if guard++; guard > 4*s.opts.MaxSegments {
+			return fmt.Errorf("vlog: cleaning cannot converge: %w", ErrFull)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Stats describes occupancy and cleaning efficiency.
+type Stats struct {
+	Keys            int
+	LiveBytes       uint64
+	CapacityBytes   uint64
+	UserWrites      uint64
+	GCWrites        uint64
+	UserBytes       uint64
+	GCBytes         uint64
+	SegmentsCleaned uint64
+	WriteAmp        float64 // GC bytes per user byte
+	MeanEAtClean    float64
+	FreeSegments    int
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Keys:            len(s.index),
+		LiveBytes:       s.liveBytes,
+		CapacityBytes:   uint64(s.opts.MaxSegments) * uint64(s.opts.SegmentBytes),
+		UserWrites:      s.userWrites,
+		GCWrites:        s.gcWrites,
+		UserBytes:       s.userBytes,
+		GCBytes:         s.gcBytes,
+		SegmentsCleaned: s.cleanedSegs,
+		FreeSegments:    len(s.free),
+	}
+	if s.userBytes > 0 {
+		st.WriteAmp = float64(s.gcBytes) / float64(s.userBytes)
+	}
+	if s.cleanedSegs > 0 {
+		st.MeanEAtClean = s.sumEAtClean / float64(s.cleanedSegs)
+	}
+	return st
+}
+
+// CheckInvariants validates internal consistency (tests):
+// every indexed record decodes to its key; per-segment live counts and free
+// bytes match the index; liveBytes aggregates correctly.
+func (s *Store) CheckInvariants() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	liveCount := make([]int32, len(s.meta))
+	liveSize := make([]int64, len(s.meta))
+	var total uint64
+	for key, l := range s.index {
+		k, v := s.decode(l)
+		if k != key {
+			return fmt.Errorf("vlog: index key %q decodes to %q", key, k)
+		}
+		liveCount[l.seg]++
+		liveSize[l.seg] += int64(recSize(k, len(v)))
+		total += uint64(recSize(k, len(v)))
+	}
+	if total != s.liveBytes {
+		return fmt.Errorf("vlog: liveBytes %d, index says %d", s.liveBytes, total)
+	}
+	for i := range s.meta {
+		m := &s.meta[i]
+		if m.State == core.SegFree {
+			if liveCount[i] != 0 {
+				return fmt.Errorf("vlog: free segment %d has %d live records", i, liveCount[i])
+			}
+			continue
+		}
+		if m.Live != liveCount[i] {
+			return fmt.Errorf("vlog: segment %d live %d, index says %d", i, m.Live, liveCount[i])
+		}
+		if m.Capacity-m.Free < liveSize[i] {
+			return fmt.Errorf("vlog: segment %d used bytes %d below live bytes %d", i, m.Capacity-m.Free, liveSize[i])
+		}
+	}
+	return nil
+}

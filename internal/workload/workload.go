@@ -1,0 +1,217 @@
+// Package workload generates the page update streams of the paper's
+// evaluation (§6.1.4): uniform, two-population hot/cold, Zipfian (any
+// exponent θ>0 via rejection-inversion sampling), a shifting-hotspot
+// extension, and replay of recorded I/O traces (the TPC-C experiment).
+//
+// Every generator is deterministic for a given seed and exposes, when it
+// knows them, the exact per-page update rates that the *-opt algorithm
+// variants consume as their oracle.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Generator produces a stream of page updates over a fixed page universe.
+type Generator interface {
+	// Name identifies the distribution for reports.
+	Name() string
+	// Next returns the next page to update. ok is false when the stream is
+	// exhausted (only finite trace replays ever exhaust).
+	Next() (page uint32, ok bool)
+	// Universe returns the number of distinct page ids, i.e. max id + 1.
+	Universe() int
+	// PreloadPages returns how many pages (ids 0..n-1) exist before the
+	// update stream starts. Synthetic workloads preload the whole universe;
+	// trace replays preload only the initially loaded database.
+	PreloadPages() int
+	// Rate returns page p's exact update probability per tick, or a
+	// negative value when the generator cannot know it.
+	Rate(p uint32) float64
+}
+
+// rng returns a deterministic PCG generator for a seed.
+func rng(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x9e3779b97f4a7c15))
+}
+
+// Uniform updates every page with equal probability.
+type Uniform struct {
+	pages int
+	r     *rand.Rand
+}
+
+// NewUniform returns a uniform generator over pages pages.
+func NewUniform(pages int, seed int64) *Uniform {
+	if pages <= 0 {
+		panic("workload: NewUniform needs pages > 0")
+	}
+	return &Uniform{pages: pages, r: rng(seed)}
+}
+
+func (u *Uniform) Name() string         { return "uniform" }
+func (u *Uniform) Universe() int        { return u.pages }
+func (u *Uniform) PreloadPages() int    { return u.pages }
+func (u *Uniform) Rate(uint32) float64  { return 1 / float64(u.pages) }
+func (u *Uniform) Next() (uint32, bool) { return uint32(u.r.IntN(u.pages)), true }
+func (u *Uniform) String() string       { return u.Name() }
+
+var _ Generator = (*Uniform)(nil)
+
+// HotCold is the two-population distribution of paper §3: hotUpdateFrac of
+// the updates go, uniformly, to the first hotDataFrac of the pages; the rest
+// go uniformly to the cold remainder. The paper's "m : 1-m" skews (80-20,
+// 90-10, ...) send m of the updates to 1-m of the data.
+type HotCold struct {
+	pages    int
+	hotPages int
+	hotFrac  float64 // fraction of updates to the hot set
+	r        *rand.Rand
+}
+
+// NewHotCold returns a hot/cold generator: hotUpdateFrac of updates hit the
+// first hotDataFrac of pages.
+func NewHotCold(pages int, hotDataFrac, hotUpdateFrac float64, seed int64) *HotCold {
+	if pages <= 0 || hotDataFrac <= 0 || hotDataFrac >= 1 ||
+		hotUpdateFrac < 0 || hotUpdateFrac > 1 {
+		panic("workload: invalid HotCold parameters")
+	}
+	hot := int(math.Round(float64(pages) * hotDataFrac))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= pages {
+		hot = pages - 1
+	}
+	return &HotCold{pages: pages, hotPages: hot, hotFrac: hotUpdateFrac, r: rng(seed)}
+}
+
+// NewSkew returns the paper's m:1-m hot/cold distribution: m of the updates
+// go to 1-m of the data (m in [0.5, 1)). NewSkew(p, 0.8, seed) is "80-20".
+func NewSkew(pages int, m float64, seed int64) *HotCold {
+	return NewHotCold(pages, 1-m, m, seed)
+}
+
+func (h *HotCold) Name() string {
+	return fmt.Sprintf("hotcold-%.0f-%.0f", h.hotFrac*100, 100-h.hotFrac*100)
+}
+func (h *HotCold) Universe() int     { return h.pages }
+func (h *HotCold) PreloadPages() int { return h.pages }
+
+func (h *HotCold) Next() (uint32, bool) {
+	if h.r.Float64() < h.hotFrac {
+		return uint32(h.r.IntN(h.hotPages)), true
+	}
+	return uint32(h.hotPages + h.r.IntN(h.pages-h.hotPages)), true
+}
+
+func (h *HotCold) Rate(p uint32) float64 {
+	if int(p) < h.hotPages {
+		return h.hotFrac / float64(h.hotPages)
+	}
+	return (1 - h.hotFrac) / float64(h.pages-h.hotPages)
+}
+
+var _ Generator = (*HotCold)(nil)
+
+// Shifting is a moving-hotspot workload (an extension beyond the paper's
+// synthetic set, modeling §6.3's observation that "hot pages become cold
+// over time"): a hot window of hotDataFrac pages receives hotUpdateFrac of
+// the updates and advances by one page every shiftEvery updates.
+type Shifting struct {
+	pages    int
+	hotPages int
+	hotFrac  float64
+	shift    uint64
+	start    int
+	count    uint64
+	r        *rand.Rand
+}
+
+// NewShifting returns a shifting-hotspot generator.
+func NewShifting(pages int, hotDataFrac, hotUpdateFrac float64, shiftEvery uint64, seed int64) *Shifting {
+	if pages <= 0 || hotDataFrac <= 0 || hotDataFrac >= 1 || shiftEvery == 0 {
+		panic("workload: invalid Shifting parameters")
+	}
+	hot := max(1, int(float64(pages)*hotDataFrac))
+	return &Shifting{pages: pages, hotPages: hot, hotFrac: hotUpdateFrac,
+		shift: shiftEvery, r: rng(seed)}
+}
+
+func (s *Shifting) Name() string        { return "shifting" }
+func (s *Shifting) Universe() int       { return s.pages }
+func (s *Shifting) PreloadPages() int   { return s.pages }
+func (s *Shifting) Rate(uint32) float64 { return -1 } // moving target: no stable oracle
+
+func (s *Shifting) Next() (uint32, bool) {
+	s.count++
+	if s.count%s.shift == 0 {
+		s.start = (s.start + 1) % s.pages
+	}
+	if s.r.Float64() < s.hotFrac {
+		return uint32((s.start + s.r.IntN(s.hotPages)) % s.pages), true
+	}
+	off := s.hotPages + s.r.IntN(s.pages-s.hotPages)
+	return uint32((s.start + off) % s.pages), true
+}
+
+var _ Generator = (*Shifting)(nil)
+
+// Replay replays a recorded page write trace (the TPC-C experiment of §6.3).
+type Replay struct {
+	name     string
+	writes   []uint32
+	pos      int
+	universe int
+	preload  int
+	rates    []float64
+}
+
+// NewReplay wraps a recorded write sequence. universe is max page id + 1;
+// preload is the number of pages (ids 0..preload-1) live before the trace
+// starts. If exact is true, per-page rates are pre-analyzed from the trace
+// itself — the paper's "-opt" variants "pre-analyze page update frequencies"
+// for the TPC-C workload (§6.3).
+func NewReplay(name string, writes []uint32, universe, preload int, exact bool) *Replay {
+	r := &Replay{name: name, writes: writes, universe: universe, preload: preload}
+	if exact {
+		counts := make([]float64, universe)
+		for _, p := range writes {
+			counts[p]++
+		}
+		total := float64(len(writes))
+		for i := range counts {
+			counts[i] /= total
+		}
+		r.rates = counts
+	}
+	return r
+}
+
+func (r *Replay) Name() string      { return r.name }
+func (r *Replay) Universe() int     { return r.universe }
+func (r *Replay) PreloadPages() int { return r.preload }
+func (r *Replay) Len() int          { return len(r.writes) }
+
+// Reset rewinds the replay to the beginning.
+func (r *Replay) Reset() { r.pos = 0 }
+
+func (r *Replay) Next() (uint32, bool) {
+	if r.pos >= len(r.writes) {
+		return 0, false
+	}
+	p := r.writes[r.pos]
+	r.pos++
+	return p, true
+}
+
+func (r *Replay) Rate(p uint32) float64 {
+	if r.rates == nil {
+		return -1
+	}
+	return r.rates[p]
+}
+
+var _ Generator = (*Replay)(nil)

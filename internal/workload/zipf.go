@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Zipf draws pages from a Zipfian distribution with exponent theta over a
+// scrambled rank order: P(rank k) ∝ 1/k^theta. Unlike math/rand's generator
+// it supports any theta > 0 (the paper's Figure 5 uses θ=0.99, its "80-20",
+// and θ=1.35, its "90-10"), using the rejection-inversion sampler of
+// Hörmann & Derflinger ("Rejection-inversion to generate variates from
+// monotone discrete distributions", TOMACS 1996), which is O(1) per sample
+// for every exponent.
+//
+// Ranks are mapped to page ids through a seeded permutation so that hot
+// pages are scattered over the id space, as in a real store.
+type Zipf struct {
+	pages int
+	theta float64
+	r     *rand.Rand
+
+	// rejection-inversion state
+	hX1, hN, sCut float64
+
+	// rank scrambling and exact rates
+	perm    []uint32  // rank-1 -> page
+	invPerm []uint32  // page -> rank-1
+	rates   []float64 // rank-1 -> probability
+}
+
+// NewZipf returns a Zipfian generator over pages pages with exponent theta.
+func NewZipf(pages int, theta float64, seed int64) *Zipf {
+	if pages <= 0 {
+		panic("workload: NewZipf needs pages > 0")
+	}
+	if theta <= 0 {
+		panic("workload: NewZipf needs theta > 0")
+	}
+	z := &Zipf{pages: pages, theta: theta, r: rng(seed)}
+	z.hX1 = z.hIntegral(1.5) - 1
+	z.hN = z.hIntegral(float64(pages) + 0.5)
+	z.sCut = 2 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2))
+
+	// Permutation scattering ranks over page ids.
+	z.perm = make([]uint32, pages)
+	for i := range z.perm {
+		z.perm[i] = uint32(i)
+	}
+	pr := rng(seed ^ 0x5bf03635)
+	pr.Shuffle(pages, func(i, j int) { z.perm[i], z.perm[j] = z.perm[j], z.perm[i] })
+	z.invPerm = make([]uint32, pages)
+	for rank, page := range z.perm {
+		z.invPerm[page] = uint32(rank)
+	}
+
+	// Exact rates: rate(rank) = rank^-θ / H(n,θ). The generalized harmonic
+	// number is accumulated smallest-first for floating point accuracy.
+	z.rates = make([]float64, pages)
+	var hsum float64
+	for k := pages; k >= 1; k-- {
+		w := math.Exp(-theta * math.Log(float64(k)))
+		z.rates[k-1] = w
+		hsum += w
+	}
+	for i := range z.rates {
+		z.rates[i] /= hsum
+	}
+	return z
+}
+
+func (z *Zipf) Name() string          { return fmt.Sprintf("zipf-%.2f", z.theta) }
+func (z *Zipf) Universe() int         { return z.pages }
+func (z *Zipf) PreloadPages() int     { return z.pages }
+func (z *Zipf) Rate(p uint32) float64 { return z.rates[z.invPerm[p]] }
+
+// Next samples a page. The loop accepts with high probability (≥ ~70% even
+// for extreme exponents), so the expected cost is O(1).
+func (z *Zipf) Next() (uint32, bool) {
+	for {
+		u := z.hN + z.r.Float64()*(z.hX1-z.hN)
+		x := z.hIntegralInverse(u)
+		k := int64(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > int64(z.pages) {
+			k = int64(z.pages)
+		}
+		if float64(k)-x <= z.sCut || u >= z.hIntegral(float64(k)+0.5)-z.h(float64(k)) {
+			return z.perm[k-1], true
+		}
+	}
+}
+
+var _ Generator = (*Zipf)(nil)
+
+// h is the density x^-θ.
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.theta * math.Log(x)) }
+
+// hIntegral is the primitive (x^(1-θ) - 1)/(1-θ), continuous at θ=1 where it
+// becomes log(x).
+func (z *Zipf) hIntegral(x float64) float64 {
+	lx := math.Log(x)
+	return helper2((1-z.theta)*lx) * lx
+}
+
+// hIntegralInverse inverts hIntegral.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * (1 - z.theta)
+	if t < -1 {
+		t = -1 // numerical safety near the distribution head
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x, continuous at 0.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-x*0.25))
+}
+
+// helper2 computes expm1(x)/x, continuous at 0.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+x*0.25))
+}

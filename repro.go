@@ -1,0 +1,181 @@
+// Package repro is a Go reproduction of "Efficiently Reclaiming Space in a
+// Log Structured Store" (Lomet & Luo, ICDE 2021): the MDC (Minimum Declining
+// Cost) segment cleaning policy, every baseline it is evaluated against, the
+// simulation substrate of the paper's evaluation, its closed-form analysis,
+// and two systems that use the policies for real — a durable log-structured
+// page store and an in-memory value-log KV store.
+//
+// This root package is the supported API surface: it re-exports the pieces a
+// downstream user composes. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured results.
+//
+// # Quick start
+//
+//	st, err := repro.OpenStore(repro.StoreOptions{Dir: "/data/pages"})
+//	...
+//	st.WritePage(42, page)        // log-structured, never in place
+//	st.ReadPage(42, buf)          // CRC-verified
+//	st.Close()                    // checkpoint + durable shutdown
+//
+// Cleaning runs automatically with the MDC policy; pass a different
+// Algorithm (repro.Greedy(), repro.CostBenefit(), ...) to compare.
+//
+// # Reproducing the paper
+//
+//	go run ./cmd/lsbench -exp all -scale medium
+//
+// regenerates every table and figure; see also cmd/lssim for single runs,
+// cmd/lsanalysis for the closed forms, and cmd/tpccgen for trace files.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/vlog"
+	"repro/internal/workload"
+)
+
+// Algorithm bundles a cleaning policy with its write-path behavior (whether
+// user and GC writes are separated by update frequency, whether exact rates
+// are used, victims per cycle).
+type Algorithm = core.Algorithm
+
+// SegmentMeta is the per-segment bookkeeping the policies inspect.
+type SegmentMeta = core.SegmentMeta
+
+// Cleaning algorithms: the paper's contribution and its baselines.
+var (
+	// MDC is the paper's Minimum Declining Cost policy with estimated
+	// update frequencies and full frequency separation.
+	MDC = core.MDC
+	// MDCOpt is MDC with exact update rates from a workload oracle.
+	MDCOpt = core.MDCOpt
+	// MDCNoSepUser and MDCNoSepUserGC are the §6.2.1 ablations.
+	MDCNoSepUser   = core.MDCNoSepUser
+	MDCNoSepUserGC = core.MDCNoSepUserGC
+	// Age cleans the oldest segment (LFS circular buffer).
+	Age = core.Age
+	// Greedy cleans the emptiest segment.
+	Greedy = core.Greedy
+	// CostBenefit is the classic LFS heuristic E*age/(2-E).
+	CostBenefit = core.CostBenefit
+	// MultiLog and MultiLogOpt reimplement Stoica & Ailamaki's
+	// frequency-banded logs, the paper's state-of-the-art comparator.
+	MultiLog    = core.MultiLog
+	MultiLogOpt = core.MultiLogOpt
+	// AlgorithmByName resolves a canonical name ("MDC", "greedy", ...).
+	AlgorithmByName = core.ByName
+	// AlgorithmNames lists the canonical names.
+	AlgorithmNames = core.Names
+)
+
+// DecliningCost is the paper's §5.1.3 victim priority: the rate at which a
+// segment's per-page cleaning cost is still declining; clean the smallest.
+func DecliningCost(m *SegmentMeta, now uint64) float64 {
+	return core.DecliningCost(m, now)
+}
+
+// Simulator: the paper's evaluation substrate.
+type (
+	// SimConfig sizes the simulated log-structured store.
+	SimConfig = sim.Config
+	// SimResult reports write amplification and emptiness at cleaning.
+	SimResult = sim.Result
+	// SimRunOptions sizes the update stream and warmup.
+	SimRunOptions = sim.RunOptions
+)
+
+// RunSim simulates one (config, algorithm, workload) combination.
+func RunSim(cfg SimConfig, alg Algorithm, gen Workload, opts SimRunOptions) (SimResult, error) {
+	return sim.Run(cfg, alg, gen, opts)
+}
+
+// Workload is a page-update stream with an optional exact-rate oracle.
+type Workload = workload.Generator
+
+// Workload generators of the paper's evaluation (§6.1.4).
+var (
+	// UniformWorkload updates all pages with equal probability.
+	UniformWorkload = workload.NewUniform
+	// HotColdWorkload sends m of the updates to 1-m of the pages.
+	HotColdWorkload = workload.NewSkew
+	// ZipfWorkload is Zipfian with any exponent θ>0 (0.99 and 1.35 are the
+	// paper's "80-20" and "90-10").
+	ZipfWorkload = workload.NewZipf
+	// ShiftingWorkload moves its hotspot over time (extension).
+	ShiftingWorkload = workload.NewShifting
+	// ReplayWorkload replays a recorded page-write trace.
+	ReplayWorkload = workload.NewReplay
+)
+
+// Closed-form analysis (paper §2-§3).
+var (
+	// FixpointE solves E = 1-(1/e)^(E/F) (Table 1).
+	FixpointE = analysis.FixpointE
+	// CleaningCost is equation 1: 2/E segment writes per segment of data.
+	CleaningCost = analysis.CostSeg
+	// WriteAmplification is equation 2: (1-E)/E.
+	WriteAmplification = analysis.Wamp
+	// HotColdMinCost is the §3 two-population cost at a given slack split.
+	HotColdMinCost = analysis.HotColdCost
+)
+
+// Durable page store.
+type (
+	// Store is a durable log-structured page store with CRC-verified
+	// records, crash recovery and pluggable cleaning.
+	Store = store.Store
+	// StoreOptions configures Open.
+	StoreOptions = store.Options
+	// StoreStats reports occupancy and cleaning efficiency.
+	StoreStats = store.Stats
+)
+
+// Store errors.
+var (
+	ErrNotFound = store.ErrNotFound
+	ErrFull     = store.ErrFull
+)
+
+// OpenStore creates or recovers a durable page store.
+func OpenStore(opts StoreOptions) (*Store, error) { return store.Open(opts) }
+
+// In-memory value-log KV store (variable-size records).
+type (
+	// KV is an in-memory log-structured key-value store (RAMCloud-style
+	// log-structured memory) cleaned by the same policies.
+	KV = vlog.Store
+	// KVOptions configures NewKV.
+	KVOptions = vlog.Options
+	// KVStats reports byte-level write amplification.
+	KVStats = vlog.Stats
+)
+
+// NewKV creates an in-memory value-log store.
+func NewKV(opts KVOptions) (*KV, error) { return vlog.New(opts) }
+
+// Experiment harness: regenerates the paper's tables and figures.
+type (
+	// ExperimentScale selects simulation geometry (small/medium/paper).
+	ExperimentScale = experiments.Scale
+	// ExperimentTable is a rendered result table.
+	ExperimentTable = experiments.Table
+)
+
+// Experiment scales.
+const (
+	ScaleSmall  = experiments.ScaleSmall
+	ScaleMedium = experiments.ScaleMedium
+	ScalePaper  = experiments.ScalePaper
+)
+
+// RunAllExperiments regenerates every table and figure at the given scale,
+// logging progress to log (may be nil).
+func RunAllExperiments(scale ExperimentScale, log io.Writer) []*ExperimentTable {
+	return experiments.All(scale, log)
+}

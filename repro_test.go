@@ -1,0 +1,106 @@
+package repro
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The facade tests exercise the re-exported API surface end to end, the way
+// a downstream user would.
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := SimConfig{SegmentPages: 32, NumSegments: 256, FillFactor: 0.8,
+		FreeLowWater: 4, CleanBatch: 8, WriteBufferSegs: 4}
+	gen := ZipfWorkload(cfg.UserPages(), 0.99, 1)
+	res, err := RunSim(cfg, MDC(), gen, SimRunOptions{UpdateMultiple: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wamp <= 0 || math.IsNaN(res.Wamp) {
+		t.Fatalf("bogus Wamp %v", res.Wamp)
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	e := FixpointE(0.8)
+	if math.Abs(e-0.3714) > 0.001 {
+		t.Errorf("FixpointE(0.8) = %v", e)
+	}
+	if math.Abs(CleaningCost(e)-2/e) > 1e-12 {
+		t.Errorf("CleaningCost inconsistent")
+	}
+	if math.Abs(WriteAmplification(e)-(1-e)/e) > 1e-12 {
+		t.Errorf("WriteAmplification inconsistent")
+	}
+	if c := HotColdMinCost(0.8, 0.8, 0.5); math.Abs(c-4.0) > 0.1 {
+		t.Errorf("HotColdMinCost(0.8,0.8,0.5) = %v, paper 4.00", c)
+	}
+}
+
+func TestFacadeAlgorithms(t *testing.T) {
+	if len(AlgorithmNames()) < 8 {
+		t.Errorf("registry too small: %v", AlgorithmNames())
+	}
+	alg, err := AlgorithmByName("MDC")
+	if err != nil || alg.Name != "MDC" {
+		t.Fatalf("AlgorithmByName: %v %v", alg, err)
+	}
+	m := SegmentMeta{Capacity: 100, Free: 50, Live: 5}
+	m.Up2 = 10
+	if p := DecliningCost(&m, 100); p <= 0 {
+		t.Errorf("DecliningCost = %v", p)
+	}
+}
+
+func TestFacadeStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(StoreOptions{Dir: dir, PageSize: 256, SegmentPages: 16, MaxSegments: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := make([]byte, 256)
+	for i := range pg {
+		pg[i] = byte(i)
+	}
+	if err := st.WritePage(1, pg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 256)
+	if err := st.ReadPage(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ReadPage(99, got); err != ErrNotFound {
+		t.Errorf("missing page error = %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "CHECKPOINT")); err != nil {
+		t.Errorf("close did not checkpoint: %v", err)
+	}
+}
+
+func TestFacadeKV(t *testing.T) {
+	kv, err := NewKV(KVOptions{SegmentBytes: 4096, MaxSegments: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := kv.Get("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestScaleConstants(t *testing.T) {
+	for _, s := range []ExperimentScale{ScaleSmall, ScaleMedium, ScalePaper} {
+		cfg := s.SimConfig(0.8)
+		if cfg.NumSegments == 0 || cfg.SegmentPages == 0 {
+			t.Errorf("scale %v config empty", s)
+		}
+	}
+}
