@@ -6,6 +6,7 @@
 //	lsbench -exp all -scale medium          # everything, ~minutes
 //	lsbench -exp fig5 -scale small -v       # one experiment with progress
 //	lsbench -exp table1 -format csv
+//	lsbench -exp cleaner -scale medium      # foreground vs background cleaning tail latency
 package main
 
 import (
@@ -23,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lsbench: ")
 
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig3, fig4, fig5, fig6")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig3, fig4, fig5, fig6, cleaner")
 	scaleName := flag.String("scale", "medium", "geometry preset: small, medium, paper")
 	format := flag.String("format", "md", "output format: md, csv")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
@@ -58,6 +59,10 @@ func main() {
 			experiments.Fig5(scale, experiments.Fig5Zipf135, progress))
 	case "fig6":
 		tables = append(tables, experiments.Fig6(scale, nil, progress))
+	case "cleaner":
+		// Beyond the paper: foreground vs background cleaning write tail
+		// on the page store, with the cleaner lifecycle stats.
+		tables = append(tables, experiments.CleanerLatency(scale, progress))
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -58,6 +58,7 @@ func main() {
 			float64(st.LiveBytes)/(1<<20), float64(st.CapacityBytes)/(1<<20),
 			float64(st.GCBytes)/(1<<20), float64(st.UserBytes)/(1<<20),
 			st.WriteAmp, st.MeanEAtClean)
+		kv.Close()
 	}
 	fmt.Println("\nMDC waits for hot segments to empty and clusters relocations by")
 	fmt.Println("estimated update frequency, so it moves fewer bytes per byte written.")

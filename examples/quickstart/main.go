@@ -1,5 +1,6 @@
-// Quickstart: open a durable log-structured page store, write and read
-// pages, watch the MDC cleaner reclaim space, and recover after a restart.
+// Quickstart: open a durable log-structured page store with background
+// cleaning, write and read pages, watch the MDC cleaner reclaim space off
+// the write path, and recover after a restart.
 //
 //	go run ./examples/quickstart
 package main
@@ -27,6 +28,10 @@ func main() {
 		SegmentPages: 64,
 		MaxSegments:  64, // ~16 MB capacity
 		// Algorithm defaults to repro.MDC().
+		// Cleaning runs in a background goroutine driven by free-pool
+		// watermarks; writes are only paced if free space nears
+		// exhaustion. Set false to clean synchronously inside writes.
+		BackgroundClean: true,
 	}
 	st, err := repro.OpenStore(opts)
 	if err != nil {
@@ -58,6 +63,9 @@ func main() {
 	fmt.Printf("user writes      %d\n", s.UserWrites)
 	fmt.Printf("GC relocations   %d (write amplification %.3f)\n", s.GCWrites, s.WriteAmp)
 	fmt.Printf("segments cleaned %d at mean emptiness %.3f\n", s.SegmentsCleaned, s.MeanEAtClean)
+	fmt.Printf("background clean %d cycles, %d segments reclaimed, %.1f MB relocated, writers stalled %v\n",
+		s.Cleaner.Cycles, s.Cleaner.SegmentsReclaimed,
+		float64(s.Cleaner.BytesRelocated)/1e6, s.Cleaner.WriterStallTime)
 
 	if err := st.Close(); err != nil {
 		log.Fatal(err)

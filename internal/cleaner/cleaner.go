@@ -1,0 +1,530 @@
+// Package cleaner is the background space-reclamation engine shared by the
+// repository's log-structured systems (internal/store and internal/vlog).
+//
+// The seed ran cleaning synchronously inside the write path: a Put that
+// found the free pool below the low-water mark blocked behind entire
+// cleaning cycles, so the quality of the victim-selection policy never
+// translated into tail latency. This package moves the cleaning lifecycle
+// into a dedicated goroutine driven by free-pool watermarks:
+//
+//   - below LowWater the cleaner starts running cycles;
+//   - it keeps going until the pool recovers to HighWater (hysteresis, so
+//     it does not thrash at the threshold);
+//   - user writes are never delayed by cleaning itself — admission control
+//     (a pluggable Pacer) only throttles or blocks writers when the pool
+//     falls below an emergency floor, the regime where the only
+//     alternative would be running out of space entirely.
+//
+// The engine being cleaned implements Target. One cleaning cycle is an
+// explicit state machine — Idle → Selecting → Relocating → Releasing —
+// replacing the ad-hoc "inGC" flags engines used to carry. The split into
+// SelectVictims / Relocate / Release is what enables concurrency: victims
+// are marked (core.SegCleaning) under the engine lock, their records are
+// then immutable, so the expensive relocation I/O can proceed while
+// readers and writers keep using the engine, and only the final pointer
+// re-installation and release need brief lock holds again.
+//
+// Crash-safety contract (durable engines): Relocate must make relocated
+// copies durable before it returns, and Release must be the only step
+// that allows victim space to be reused. The cleaner never reorders these,
+// so at any instant every live record has at least one intact on-disk
+// copy; recovery picks the highest-sequence version.
+package cleaner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors surfaced through Admit.
+var (
+	// ErrExhausted means cleaning cannot reclaim any more space: live data
+	// has (nearly) reached physical capacity.
+	ErrExhausted = errors.New("cleaner: space exhausted")
+	// ErrStopped means the cleaner was stopped while the caller waited.
+	ErrStopped = errors.New("cleaner: stopped")
+	// ErrStalled means a blocked writer exceeded StallTimeout without the
+	// cleaner recovering the emergency floor.
+	ErrStalled = errors.New("cleaner: admission stalled")
+)
+
+// RelocateChunks drives a chunked relocation: it calls install over
+// successive index ranges [lo, hi) of n candidates, chunk at a time,
+// accumulating the installed record count and byte volume. Engines use it
+// inside Target.Relocate so the engine lock is taken per chunk (inside
+// install) rather than for the whole batch, letting user operations
+// interleave with the cleaner. A chunk error stops the loop and returns
+// the partial totals with the error.
+func RelocateChunks(n, chunk int, install func(lo, hi int) (int, int64, error)) (int, int64, error) {
+	var installed int
+	var moved int64
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		k, b, err := install(lo, hi)
+		installed += k
+		moved += b
+		if err != nil {
+			return installed, moved, err
+		}
+	}
+	return installed, moved, nil
+}
+
+// Target is the engine-side contract of the cleaning lifecycle. The
+// cleaner drives one cycle at a time, always in the order SelectVictims →
+// Relocate → (Release | Abort), so implementations may carry per-cycle
+// state between the calls.
+type Target interface {
+	// FreeSegments reports the engine's current free-pool size. It is
+	// called concurrently with everything else (including from writers
+	// inside Admit), so it must not take engine locks — engines keep an
+	// atomic counter.
+	FreeSegments() int
+	// SelectVictims chooses up to max victim segments with the engine's
+	// policy and marks them as cleaning (core.SegCleaning) so their
+	// records stay immutable and no other selector picks them. It returns
+	// nil when nothing is eligible.
+	SelectVictims(max int) []int32
+	// Relocate copies the victims' live records to the engine's GC stream,
+	// re-installing mapping entries as it goes, and (for durable engines)
+	// makes the copies durable before returning. It reports how many
+	// records and bytes were moved.
+	Relocate(victims []int32) (records int, bytes int64, err error)
+	// Release returns the victims to the free pool and reports the gross
+	// capacity bytes released. It must only be called after Relocate
+	// succeeded for the same victims.
+	Release(victims []int32) (releasedBytes int64)
+	// Abort reverts victims selected by SelectVictims back to sealed after
+	// a failed relocation, so a later cycle can retry them.
+	Abort(victims []int32)
+}
+
+// State is the cleaner's lifecycle state.
+type State int32
+
+const (
+	// StateIdle means the free pool is above the watermarks.
+	StateIdle State = iota
+	// StateSelecting means a cycle is choosing victims.
+	StateSelecting
+	// StateRelocating means live records are being copied out of victims.
+	StateRelocating
+	// StateReleasing means victims are being returned to the free pool.
+	StateReleasing
+	// StateStopped means Stop was called; no further cycles run.
+	StateStopped
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateSelecting:
+		return "selecting"
+	case StateRelocating:
+		return "relocating"
+	case StateReleasing:
+		return "releasing"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Options configures a Cleaner.
+type Options struct {
+	// LowWater starts cleaning when the free pool falls below it.
+	LowWater int
+	// HighWater stops cleaning once the free pool recovers to it
+	// (default LowWater+Batch, clamped to the pool size).
+	HighWater int
+	// EmergencyFloor is the admission-control threshold: the Pacer sees
+	// it and (by default) blocks writers while the pool is below it
+	// (default min(Batch+1, LowWater), at least 1).
+	EmergencyFloor int
+	// Batch is the number of victims per cleaning cycle.
+	Batch int
+	// TotalSegments is the engine's physical segment count; it bounds the
+	// cycles one reclamation attempt may run (convergence guard) and is
+	// reported to the Pacer.
+	TotalSegments int
+	// Pacer is the admission controller consulted on every user write
+	// (default FloorPacer{}).
+	Pacer Pacer
+	// PollInterval is the fallback wakeup period when no writer kicks the
+	// cleaner (default 25ms).
+	PollInterval time.Duration
+	// StallTimeout bounds how long one admission may stay blocked before
+	// failing with ErrStalled (default 30s).
+	StallTimeout time.Duration
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.LowWater <= 0 || o.Batch <= 0 || o.TotalSegments <= 0 {
+		return o, fmt.Errorf("cleaner: LowWater (%d), Batch (%d) and TotalSegments (%d) must be positive",
+			o.LowWater, o.Batch, o.TotalSegments)
+	}
+	if o.HighWater == 0 {
+		o.HighWater = o.LowWater + o.Batch
+	}
+	if o.HighWater > o.TotalSegments-1 {
+		o.HighWater = o.TotalSegments - 1
+	}
+	if o.HighWater <= o.LowWater {
+		o.HighWater = o.LowWater + 1
+	}
+	if o.EmergencyFloor == 0 {
+		o.EmergencyFloor = min(o.Batch+1, o.LowWater)
+	}
+	if o.EmergencyFloor < 1 {
+		o.EmergencyFloor = 1
+	}
+	if o.EmergencyFloor > o.LowWater {
+		return o, fmt.Errorf("cleaner: EmergencyFloor (%d) must not exceed LowWater (%d)",
+			o.EmergencyFloor, o.LowWater)
+	}
+	if o.Pacer == nil {
+		o.Pacer = FloorPacer{}
+	}
+	if o.PollInterval == 0 {
+		o.PollInterval = 25 * time.Millisecond
+	}
+	if o.StallTimeout == 0 {
+		o.StallTimeout = 30 * time.Second
+	}
+	return o, nil
+}
+
+// Stats describes the cleaner's activity. Engines embed it in their own
+// stats snapshots.
+type Stats struct {
+	// State is the current lifecycle state ("idle", "relocating", ...).
+	State string
+	// Cycles counts completed cleaning cycles.
+	Cycles uint64
+	// SegmentsReclaimed counts victims released back to the free pool.
+	SegmentsReclaimed uint64
+	// RecordsRelocated counts live records copied out of victims.
+	RecordsRelocated uint64
+	// BytesRelocated is the relocation write volume (the cleaning cost).
+	BytesRelocated uint64
+	// BytesReclaimed is the net space recovered (released minus relocated).
+	BytesReclaimed uint64
+	// Errors counts failed cycles; LastError describes the most recent.
+	Errors    uint64
+	LastError string
+	// Kicks counts writer wakeups delivered to the cleaner goroutine.
+	Kicks uint64
+	// WriterStalls counts writes blocked below the emergency floor and
+	// WriterStallTime their cumulative wait.
+	WriterStalls    uint64
+	WriterStallTime time.Duration
+	// WriterDelays counts writes throttled by the Pacer and
+	// WriterDelayTime their cumulative added latency.
+	WriterDelays    uint64
+	WriterDelayTime time.Duration
+}
+
+// Cleaner owns the background cleaning lifecycle for one Target.
+type Cleaner struct {
+	t    Target
+	opts Options
+
+	state atomic.Int32
+
+	mu      sync.Mutex
+	waitCh  chan struct{} // replaced on every broadcast; closed to wake waiters
+	full    bool          // last attempt concluded space is exhausted
+	stopped bool
+	stats   Stats
+
+	kick     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	errRun int // consecutive failed cycles (cleaner goroutine only)
+}
+
+// Start validates opts and launches the cleaning goroutine.
+func Start(t Target, opts Options) (*Cleaner, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cleaner{
+		t:      t,
+		opts:   opts,
+		waitCh: make(chan struct{}),
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go c.run()
+	return c, nil
+}
+
+// Kick wakes the cleaner goroutine; writers call it when they notice the
+// free pool below the low-water mark. It never blocks.
+func (c *Cleaner) Kick() {
+	select {
+	case c.kick <- struct{}{}:
+		c.mu.Lock()
+		c.stats.Kicks++
+		c.mu.Unlock()
+	default:
+	}
+}
+
+// Stop terminates the cleaning goroutine, waits for the in-flight cycle to
+// finish, and wakes any blocked writers with ErrStopped. It is idempotent.
+func (c *Cleaner) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// State reports the cleaner's current lifecycle state.
+func (c *Cleaner) State() State { return State(c.state.Load()) }
+
+// Stats returns a snapshot of the cleaner's counters.
+func (c *Cleaner) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.State = c.State().String()
+	return st
+}
+
+// Admit applies write admission control: it wakes the cleaner when the
+// pool is low and, per the Pacer, delays or blocks the caller when the
+// pool is below the emergency floor. Engines call it on the user write
+// path before taking their own locks (so a blocked writer never holds a
+// lock the cleaner needs).
+func (c *Cleaner) Admit() error {
+	var deadline time.Time
+	stalled := false
+	for {
+		free := c.t.FreeSegments()
+		if free < c.opts.LowWater {
+			c.Kick()
+		}
+		ad := c.opts.Pacer.Admit(c.poolState(free))
+		if ad.Delay > 0 {
+			time.Sleep(ad.Delay)
+			c.mu.Lock()
+			c.stats.WriterDelays++
+			c.stats.WriterDelayTime += ad.Delay
+			c.mu.Unlock()
+		}
+		if !ad.Block {
+			return nil
+		}
+
+		// Blocked: wait for the cleaner to release space. Capture the
+		// broadcast channel first, then re-check the pool so a release
+		// that lands in between is not missed.
+		c.mu.Lock()
+		if c.stopped {
+			c.mu.Unlock()
+			return ErrStopped
+		}
+		if c.full {
+			c.mu.Unlock()
+			return ErrExhausted
+		}
+		ch := c.waitCh
+		c.mu.Unlock()
+		// A release that landed between the pacer decision and capturing
+		// the channel must not be missed: re-consult the pacer and retry
+		// instead of waiting if it would now admit.
+		if !c.opts.Pacer.Admit(c.poolState(c.t.FreeSegments())).Block {
+			continue
+		}
+		if !stalled {
+			// One stall per blocked write, however many wait/wake rounds
+			// it takes to get through.
+			stalled = true
+			c.mu.Lock()
+			c.stats.WriterStalls++
+			c.mu.Unlock()
+		}
+		if deadline.IsZero() {
+			deadline = time.Now().Add(c.opts.StallTimeout)
+		}
+		start := time.Now()
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+			timer.Stop()
+			c.addStall(time.Since(start))
+		case <-c.stop:
+			timer.Stop()
+			c.addStall(time.Since(start))
+			return ErrStopped
+		case <-timer.C:
+			c.addStall(time.Since(start))
+			return ErrStalled
+		}
+	}
+}
+
+func (c *Cleaner) poolState(free int) PoolState {
+	return PoolState{
+		Free:           free,
+		LowWater:       c.opts.LowWater,
+		HighWater:      c.opts.HighWater,
+		EmergencyFloor: c.opts.EmergencyFloor,
+		Total:          c.opts.TotalSegments,
+	}
+}
+
+func (c *Cleaner) addStall(d time.Duration) {
+	c.mu.Lock()
+	c.stats.WriterStallTime += d
+	c.mu.Unlock()
+}
+
+// broadcast wakes every writer blocked in Admit.
+func (c *Cleaner) broadcast() {
+	c.mu.Lock()
+	close(c.waitCh)
+	c.waitCh = make(chan struct{})
+	c.mu.Unlock()
+}
+
+func (c *Cleaner) setFull(full bool) {
+	c.mu.Lock()
+	changed := c.full != full
+	c.full = full
+	c.mu.Unlock()
+	if changed && full {
+		// Exhaustion is an answer, not just an absence of progress: blocked
+		// writers must learn it now rather than wait out their timeout.
+		c.broadcast()
+	}
+}
+
+// concludeNoProgress ends a reclamation attempt that cannot make progress.
+// That only means "space exhausted" when the pool is below the emergency
+// floor — the regime where writers are blocked and need the verdict. Above
+// it, an unreachable high watermark (e.g. live data permanently occupies
+// most of the store) is normal: the cleaner just stands down until garbage
+// accumulates.
+func (c *Cleaner) concludeNoProgress() {
+	if c.t.FreeSegments() < c.opts.EmergencyFloor {
+		c.setFull(true)
+	}
+}
+
+func (c *Cleaner) run() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.opts.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			c.state.Store(int32(StateStopped))
+			c.mu.Lock()
+			c.stopped = true
+			c.mu.Unlock()
+			c.broadcast()
+			return
+		case <-c.kick:
+		case <-ticker.C:
+		}
+		c.reclaim()
+	}
+}
+
+// reclaim runs cleaning cycles with hysteresis: it does nothing until the
+// pool is below LowWater, then cleans until it recovers to HighWater.
+// Under sustained writer pressure one invocation may run for a long time —
+// that is the cleaner doing its job — so exhaustion is detected from
+// per-cycle progress, not from how long the loop has run.
+func (c *Cleaner) reclaim() {
+	if c.t.FreeSegments() >= c.opts.LowWater {
+		return
+	}
+	dry := 0
+	for c.t.FreeSegments() < c.opts.HighWater {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+
+		c.state.Store(int32(StateSelecting))
+		victims := c.t.SelectVictims(c.opts.Batch)
+		if len(victims) == 0 {
+			// Nothing sealed to clean while the pool is low: every
+			// remaining segment is open, already being cleaned, or free.
+			c.concludeNoProgress()
+			break
+		}
+
+		c.state.Store(int32(StateRelocating))
+		records, moved, err := c.t.Relocate(victims)
+		if err != nil {
+			c.t.Abort(victims)
+			c.mu.Lock()
+			c.stats.Errors++
+			c.stats.LastError = err.Error()
+			c.mu.Unlock()
+			// Transient errors (e.g. the GC stream lost a race for the
+			// last free segment) are retried on the next wakeup; repeated
+			// failure without an intervening success means space is
+			// exhausted. The counter persists across wakeups.
+			if c.errRun++; c.errRun >= 3 {
+				c.concludeNoProgress()
+			}
+			break
+		}
+		c.errRun = 0
+
+		c.state.Store(int32(StateReleasing))
+		released := c.t.Release(victims)
+		net := released - moved
+
+		c.mu.Lock()
+		c.stats.Cycles++
+		c.stats.SegmentsReclaimed += uint64(len(victims))
+		c.stats.RecordsRelocated += uint64(records)
+		c.stats.BytesRelocated += uint64(moved)
+		if net > 0 {
+			c.stats.BytesReclaimed += uint64(net)
+		}
+		c.mu.Unlock()
+		c.broadcast() // space became available: wake blocked writers
+
+		// Cycles that only shuffle fully-live segments reclaim nothing:
+		// live data has (nearly) reached physical capacity. Cycles with
+		// small positive net are NOT exhaustion — under sustained writer
+		// pressure thin garbage is normal and the loop simply keeps
+		// working (StallTimeout backstops the pathological case where
+		// per-segment slack alone keeps net barely positive forever).
+		if net <= 0 {
+			if dry++; dry >= 2 {
+				c.concludeNoProgress()
+				break
+			}
+		} else {
+			dry = 0
+			c.setFull(false)
+		}
+		// Diminishing returns: below the low watermark the cleaner pushes
+		// no matter the cost, but the extra headroom up to the high
+		// watermark is only worth building while it is cheap. Stopping
+		// when a whole batch nets less than one segment keeps a store
+		// whose live data sits near its watermarks (an unreachable high)
+		// from cleaning in a permanent low-yield churn.
+		if c.t.FreeSegments() >= c.opts.LowWater && net < released/int64(len(victims)) {
+			break
+		}
+	}
+	c.state.Store(int32(StateIdle))
+	c.broadcast()
+}

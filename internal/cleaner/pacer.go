@@ -1,0 +1,75 @@
+package cleaner
+
+import "time"
+
+// PoolState is the free-pool snapshot a Pacer sees when deciding how to
+// admit a user write.
+type PoolState struct {
+	// Free is the current free-segment count.
+	Free int
+	// LowWater and HighWater are the cleaner's run/stop watermarks.
+	LowWater  int
+	HighWater int
+	// EmergencyFloor is the threshold below which writes endanger the
+	// cleaner's own relocation headroom.
+	EmergencyFloor int
+	// Total is the engine's physical segment count.
+	Total int
+}
+
+// Admission is a Pacer's decision for one write.
+type Admission struct {
+	// Delay throttles the writer: it sleeps this long before appending.
+	Delay time.Duration
+	// Block applies backpressure: the writer waits until the cleaner
+	// recovers the emergency floor (or space is exhausted).
+	Block bool
+}
+
+// Pacer decides how user writes are admitted while cleaning runs in the
+// background. Implementations must be safe for concurrent use; Admit is
+// called on every user write.
+type Pacer interface {
+	Admit(st PoolState) Admission
+}
+
+// FloorPacer is the default admission controller: writes are admitted
+// without any delay while the free pool is at or above the emergency
+// floor, and blocked below it. Cleaning itself therefore never adds
+// latency to writes — only imminent space exhaustion does.
+type FloorPacer struct{}
+
+// Admit implements Pacer.
+func (FloorPacer) Admit(st PoolState) Admission {
+	return Admission{Block: st.Free < st.EmergencyFloor}
+}
+
+// RampPacer throttles writes progressively as the pool drains from the
+// low watermark toward the emergency floor (a linear delay ramp up to
+// MaxDelay), then blocks below the floor. It trades a little median
+// latency for a smoother approach to the floor under sustained overload.
+type RampPacer struct {
+	// MaxDelay is the delay applied just above the emergency floor
+	// (default 1ms).
+	MaxDelay time.Duration
+}
+
+// Admit implements Pacer.
+func (p RampPacer) Admit(st PoolState) Admission {
+	if st.Free < st.EmergencyFloor {
+		return Admission{Block: true}
+	}
+	if st.Free >= st.LowWater {
+		return Admission{}
+	}
+	span := st.LowWater - st.EmergencyFloor
+	if span <= 0 {
+		return Admission{}
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay == 0 {
+		maxDelay = time.Millisecond
+	}
+	frac := float64(st.LowWater-st.Free) / float64(span)
+	return Admission{Delay: time.Duration(frac * float64(maxDelay))}
+}

@@ -29,6 +29,12 @@ const (
 	SegOpen
 	// SegSealed means the segment is full and eligible for cleaning.
 	SegSealed
+	// SegCleaning means a cleaner has selected the segment as a victim and
+	// is relocating its live data. The segment's records are immutable in
+	// this state (it cannot be reopened or reused), which is what lets a
+	// background cleaner read them without holding engine locks; policies
+	// never select it again because only SegSealed segments are victims.
+	SegCleaning
 )
 
 func (s SegState) String() string {
@@ -39,6 +45,8 @@ func (s SegState) String() string {
 		return "open"
 	case SegSealed:
 		return "sealed"
+	case SegCleaning:
+		return "cleaning"
 	default:
 		return fmt.Sprintf("SegState(%d)", uint8(s))
 	}

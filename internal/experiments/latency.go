@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// CleanerLatency compares foreground and background cleaning on the durable
+// page store under a concurrent skewed write workload. The paper's policies
+// decide WHAT to clean; this experiment shows that WHEN cleaning runs
+// decides the write tail: foreground mode pays for whole cleaning cycles
+// inside unlucky writes, background mode (internal/cleaner) moves that work
+// off the write path and only paces writers below the emergency floor.
+//
+// This is a systems extension beyond the paper's tables, so it is not part
+// of All(); run it with `lsbench -exp cleaner`.
+func CleanerLatency(scale Scale, log io.Writer) *Table {
+	// Geometries keep the high watermark reachable at fill 0.8 (free pool
+	// headroom of 0.2*MaxSegments must exceed FreeLowWater+CleanBatch), so
+	// the background cleaner works in its intended regime instead of being
+	// pinned below the low watermark.
+	var segPages, maxSegs, writers, opsPerWriter int
+	switch scale {
+	case ScaleSmall:
+		segPages, maxSegs, writers, opsPerWriter = 32, 128, 4, 8000
+	case ScalePaper:
+		segPages, maxSegs, writers, opsPerWriter = 64, 256, 8, 60000
+	default: // medium
+		segPages, maxSegs, writers, opsPerWriter = 64, 128, 4, 20000
+	}
+
+	t := &Table{
+		Name: "cleaner-latency",
+		Title: fmt.Sprintf("Concurrent write latency, foreground vs background cleaning "+
+			"(page store, MDC, fill 0.8, %d writers × %d updates, hot 10%% gets 90%%)", writers, opsPerWriter),
+		Header: []string{"mode", "throughput (Kops/s)", "p50 (µs)", "p99 (µs)", "p99.9 (µs)",
+			"write amp", "cleaner cycles", "writer stalls", "stall time (ms)"},
+	}
+	for _, background := range []bool{false, true} {
+		mode := "foreground"
+		if background {
+			mode = "background"
+		}
+		progress(log, "cleaner-latency: %s", mode)
+		row := cleanerLatencyRun(segPages, maxSegs, writers, opsPerWriter, background)
+		t.Rows = append(t.Rows, append([]string{mode}, row...))
+	}
+	return t
+}
+
+func cleanerLatencyRun(segPages, maxSegs, writers, opsPerWriter int, background bool) []string {
+	opts := store.Options{
+		PageSize:        1024,
+		SegmentPages:    segPages,
+		MaxSegments:     maxSegs,
+		BackgroundClean: background,
+	}
+	s, err := store.Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: cleaner-latency: %v", err))
+	}
+	defer s.Close()
+
+	livePages := maxSegs * segPages * 8 / 10 // fill factor 0.8
+	buf := make([]byte, opts.PageSize)
+	for id := uint32(0); id < uint32(livePages); id++ {
+		if err := s.WritePage(id, buf); err != nil {
+			panic(fmt.Sprintf("experiments: cleaner-latency preload: %v", err))
+		}
+	}
+
+	lats := make([][]time.Duration, writers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(w), Seed))
+			buf := make([]byte, opts.PageSize)
+			lat := make([]time.Duration, 0, opsPerWriter)
+			for i := 0; i < opsPerWriter; i++ {
+				var id uint32
+				if r.Float64() < 0.9 {
+					id = uint32(r.IntN(livePages / 10))
+				} else {
+					id = uint32(livePages/10 + r.IntN(livePages*9/10))
+				}
+				t0 := time.Now()
+				if err := s.WritePage(id, buf); err != nil {
+					panic(fmt.Sprintf("experiments: cleaner-latency write: %v", err))
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		return float64(all[int(p*float64(len(all)-1))]) / float64(time.Microsecond)
+	}
+	st := s.Stats()
+	kops := float64(writers*opsPerWriter) / elapsed.Seconds() / 1000
+	return []string{
+		f2(kops), f2(pct(0.50)), f2(pct(0.99)), f2(pct(0.999)),
+		f3(st.WriteAmp),
+		fmt.Sprintf("%d", st.Cleaner.Cycles),
+		fmt.Sprintf("%d", st.Cleaner.WriterStalls),
+		f2(float64(st.Cleaner.WriterStallTime) / float64(time.Millisecond)),
+	}
+}

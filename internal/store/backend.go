@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // backend abstracts segment storage: per-segment files on disk, or byte
@@ -63,9 +64,14 @@ func (m *memBackend) reset(seg int) error {
 func (m *memBackend) sync(int) error { return nil }
 func (m *memBackend) close() error   { return nil }
 
-// fileBackend stores one file per segment under a directory.
+// fileBackend stores one file per segment under a directory. The handle
+// table is guarded by a mutex because the background cleaner reads victim
+// segments without holding the store lock; the I/O itself uses ReadAt/
+// WriteAt, which are safe for concurrent use on the same *os.File.
 type fileBackend struct {
-	dir   string
+	dir string
+	mu  sync.Mutex
+	// files is the lazily-opened handle per segment; access under mu.
 	files []*os.File
 }
 
@@ -81,6 +87,8 @@ func (f *fileBackend) path(seg int) string {
 }
 
 func (f *fileBackend) file(seg int) (*os.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.files[seg] != nil {
 		return f.files[seg], nil
 	}
@@ -143,16 +151,21 @@ func (f *fileBackend) reset(seg int) error {
 }
 
 func (f *fileBackend) sync(seg int) error {
-	if f.files[seg] == nil {
+	f.mu.Lock()
+	fh := f.files[seg]
+	f.mu.Unlock()
+	if fh == nil {
 		return nil
 	}
-	if err := f.files[seg].Sync(); err != nil {
+	if err := fh.Sync(); err != nil {
 		return fmt.Errorf("store: syncing segment %d: %w", seg, err)
 	}
 	return nil
 }
 
 func (f *fileBackend) close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	var first error
 	for _, fh := range f.files {
 		if fh == nil {

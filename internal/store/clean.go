@@ -9,22 +9,44 @@ import (
 	"path/filepath"
 	"sort"
 
+	"repro/internal/cleaner"
 	"repro/internal/core"
 )
 
-// clean runs cleaning cycles until the free pool is back above the
-// low-water mark. Crash safety relies on ordering: every live record of a
-// victim batch is rewritten (and optionally synced) into GC segments BEFORE
-// any victim is released for reuse, so at any instant every live page has at
-// least one intact on-disk copy; recovery picks the highest sequence number.
-func (s *Store) clean() error {
-	s.inGC = true
-	defer func() { s.inGC = false }()
+// Cleaning is decomposed into the phases of the cleaner state machine
+// (select → relocate → release), shared by both modes:
+//
+//   - foreground mode runs all phases back to back under the write lock,
+//     exactly like the seed (a write blocks until the pool recovers);
+//   - background mode (internal/cleaner) interleaves: victims are marked
+//     core.SegCleaning under the lock, their records — then immutable —
+//     are read from storage with NO lock held, and relocated copies are
+//     installed in small chunks so user reads and writes proceed
+//     throughout. Each install re-checks that the record is still current,
+//     because a concurrent overwrite may have superseded it mid-flight.
+//
+// Crash safety relies on ordering in both modes: every live record of a
+// victim batch is rewritten (and optionally synced) into GC segments
+// BEFORE any victim is released for reuse, so at any instant every live
+// page has at least one intact on-disk copy; recovery picks the highest
+// sequence number.
 
+// cleanCand is one victim slot captured at selection time.
+type cleanCand struct {
+	seg     int32
+	slot    int32
+	si      slotInfo
+	up2     float64
+	payload []byte // loaded by loadCandidates; nil for tombstones
+}
+
+// clean runs foreground cleaning cycles until the free pool is back above
+// the low-water mark. Caller holds the write lock.
+func (s *Store) clean() error {
 	guard := 0
 	dry := 0
 	for len(s.free) < s.opts.FreeLowWater {
-		n, reclaimed, err := s.cleanCycle()
+		n, net, err := s.cleanCycleLocked()
 		if err != nil {
 			return err
 		}
@@ -33,7 +55,7 @@ func (s *Store) clean() error {
 		}
 		// Cycles that only shuffle full segments reclaim nothing: the
 		// store's live data has (nearly) reached physical capacity.
-		if reclaimed == 0 {
+		if net <= 0 {
 			if dry++; dry >= 2 {
 				return fmt.Errorf("store: live data at physical capacity: %w", ErrFull)
 			}
@@ -53,95 +75,191 @@ func (s *Store) CleanOnce() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return 0, fmt.Errorf("store: closed")
+		return 0, errClosed
 	}
-	s.inGC = true
-	defer func() { s.inGC = false }()
-	n, _, err := s.cleanCycle()
+	n, _, err := s.cleanCycleLocked()
 	return n, err
 }
 
-type relocRec struct {
-	page    uint32
-	flags   uint32
-	up2     float64
-	payload []byte
+// cleanCycleLocked runs one full cycle under the write lock and reports the
+// victim count and the net bytes reclaimed (released minus relocated).
+func (s *Store) cleanCycleLocked() (victimCount int, netBytes int64, err error) {
+	victims, cands, err := s.selectVictimsLocked(s.opts.CleanBatch)
+	if err != nil || len(victims) == 0 {
+		return 0, 0, err
+	}
+	if err := s.loadCandidates(cands); err != nil {
+		s.abortVictimsLocked(victims)
+		return 0, 0, err
+	}
+	s.sortForGC(cands)
+	_, moved, err := s.installRelocsLocked(cands)
+	if err != nil {
+		s.abortVictimsLocked(victims)
+		return 0, 0, err
+	}
+	if err := s.syncGCLocked(); err != nil {
+		s.abortVictimsLocked(victims)
+		return 0, 0, err
+	}
+	released := s.releaseVictimsLocked(victims)
+	return len(victims), released - moved, nil
 }
 
-func (s *Store) cleanCycle() (victimCount, reclaimedSlots int, err error) {
+// selectVictimsLocked asks the policy for up to max victims, marks them
+// SegCleaning (freezing their records), and snapshots their live slots.
+// Caller holds the write lock.
+func (s *Store) selectVictimsLocked(max int) ([]int32, []cleanCand, error) {
 	view := core.View{Now: s.unow, Segs: s.meta}
-	victims := s.alg().Policy.Victims(view, s.opts.CleanBatch, nil)
+	victims := s.alg().Policy.Victims(view, max, nil)
 	if len(victims) == 0 {
-		return 0, 0, nil
+		return nil, nil, nil
 	}
-
-	// Gather the victims' live records into memory.
-	var relocs []relocRec
+	for _, v := range victims {
+		if s.meta[v].State != core.SegSealed {
+			return nil, nil, fmt.Errorf("store: policy %s selected non-sealed segment %d", s.alg().Name, v)
+		}
+	}
+	var cands []cleanCand
 	for _, v := range victims {
 		m := &s.meta[v]
-		if m.State != core.SegSealed {
-			return 0, 0, fmt.Errorf("store: policy %s selected non-sealed segment %d", s.alg().Name, v)
-		}
-		s.sumEAtClean += m.Emptiness()
-		s.cleanedSegs++
+		m.State = core.SegCleaning
+		// Emptiness-at-clean is measured now but credited to the stats
+		// only when the victim is actually released (an aborted victim
+		// was not cleaned and will be re-selected).
+		s.pendingE[v] = m.Emptiness()
 		for slot, si := range s.slots[v] {
 			loc, ok := s.locOf(si.page, si.tombstone)
-			if !ok || loc.seg != v || loc.slot != int32(slot) {
-				continue // stale version
+			if ok && loc.seg == v && loc.slot == int32(slot) {
+				cands = append(cands, cleanCand{seg: v, slot: int32(slot), si: si, up2: m.Up2})
 			}
-			if si.tombstone {
-				if si.seq <= s.prunedSeq {
-					// The deletion is checkpoint-covered: drop the
-					// tombstone RECORD instead of relocating it — but the
-					// deletion itself must stay in the tombstone map (with
-					// no record location) so every future checkpoint keeps
-					// carrying it: stale data records of the page can
-					// survive in not-yet-reused segments, and forgetting
-					// the deletion would let recovery resurrect them.
-					s.tombstones[si.page] = pageLoc{seg: -1, slot: -1, seq: si.seq}
-					continue
-				}
-				relocs = append(relocs, relocRec{page: si.page, flags: flagTombstone, up2: m.Up2})
+		}
+	}
+	return victims, cands, nil
+}
+
+// loadCandidates reads the data payloads of cands from the backend and
+// verifies record identity. Victim segments are immutable while marked
+// SegCleaning, so this — the bulk of cleaning I/O — is safe to run with no
+// lock held, concurrently with reads and user appends.
+func (s *Store) loadCandidates(cands []cleanCand) error {
+	buf := make([]byte, s.recordSize())
+	for i := range cands {
+		c := &cands[i]
+		if c.si.tombstone {
+			continue
+		}
+		if err := s.be.read(int(c.seg), s.slotOffset(int(c.slot)), buf); err != nil {
+			return err
+		}
+		h, data, err := decodeRecord(buf)
+		if err != nil {
+			return fmt.Errorf("store: cleaning segment %d slot %d: %w", c.seg, c.slot, err)
+		}
+		if h.page != c.si.page || h.seq != c.si.seq {
+			return fmt.Errorf("store: cleaning segment %d slot %d: record identity mismatch", c.seg, c.slot)
+		}
+		c.payload = append([]byte(nil), data[:s.opts.PageSize]...)
+	}
+	return nil
+}
+
+// sortForGC separates relocations by update frequency (§5.3) when the
+// algorithm asks for it: coldest first by carried up2.
+func (s *Store) sortForGC(cands []cleanCand) {
+	if s.alg().SortGC {
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].up2 < cands[j].up2 })
+	}
+}
+
+// installRelocsLocked appends relocated copies of the candidates that are
+// still current, keeping victim accounting truthful (a relocated or pruned
+// record no longer counts against its victim). Caller holds the write
+// lock; background relocation calls it in small chunks.
+func (s *Store) installRelocsLocked(cands []cleanCand) (installed int, bytes int64, err error) {
+	for i := range cands {
+		c := &cands[i]
+		if c.si.tombstone {
+			loc, ok := s.tombstones[c.si.page]
+			if !ok || loc.seg != c.seg || loc.slot != c.slot {
+				continue // superseded since selection
+			}
+			if c.si.seq <= s.prunedSeq {
+				// The deletion is checkpoint-covered: drop the tombstone
+				// RECORD instead of relocating it — but the deletion itself
+				// must stay in the tombstone map (with no record location)
+				// so every future checkpoint keeps carrying it: stale data
+				// records of the page can survive in not-yet-reused
+				// segments, and forgetting the deletion would let recovery
+				// resurrect them.
+				s.tombstones[c.si.page] = pageLoc{seg: -1, slot: -1, seq: c.si.seq}
+				s.releaseVictimSlot(c.seg)
 				continue
 			}
-			payload := make([]byte, s.opts.PageSize)
-			if err := s.be.read(int(v), s.slotOffset(slot), s.recBuf); err != nil {
-				return 0, 0, err
+			if err := s.gcAppendLocked(c.si.page, flagTombstone, nil, c.up2); err != nil {
+				return installed, bytes, err
 			}
-			h, data, err := decodeRecord(s.recBuf)
-			if err != nil {
-				return 0, 0, fmt.Errorf("store: cleaning segment %d slot %d: %w", v, slot, err)
-			}
-			if h.page != si.page || h.seq != si.seq {
-				return 0, 0, fmt.Errorf("store: cleaning segment %d slot %d: record identity mismatch", v, slot)
-			}
-			copy(payload, data)
-			relocs = append(relocs, relocRec{page: si.page, up2: m.Up2, payload: payload})
+			s.releaseVictimSlot(c.seg)
+			installed++
+			bytes += s.recordSize()
+			continue
 		}
+		loc, ok := s.table[c.si.page]
+		if !ok || loc.seg != c.seg || loc.slot != c.slot {
+			continue // overwritten or deleted since selection
+		}
+		if err := s.gcAppendLocked(c.si.page, 0, c.payload, c.up2); err != nil {
+			return installed, bytes, err
+		}
+		s.releaseVictimSlot(c.seg)
+		installed++
+		bytes += s.recordSize()
 	}
+	return installed, bytes, nil
+}
 
-	// Separate relocations by update frequency (§5.3) when the algorithm
-	// asks for it: coldest first by carried up2.
-	if s.alg().SortGC {
-		sort.SliceStable(relocs, func(i, j int) bool { return relocs[i].up2 < relocs[j].up2 })
+// releaseVictimSlot credits a victim for one slot that no longer holds
+// current data (relocated or pruned).
+func (s *Store) releaseVictimSlot(seg int32) {
+	m := &s.meta[seg]
+	m.Live--
+	m.Free += s.recordSize()
+}
+
+func (s *Store) gcAppendLocked(page uint32, flags uint32, payload []byte, up2 float64) error {
+	if err := s.ensureOpen(1); err != nil {
+		return err
 	}
-	for _, r := range relocs {
-		if err := s.append(1, r.page, r.flags, r.payload, r.up2); err != nil {
-			return 0, 0, err
-		}
-		s.gcWrites++
+	if err := s.appendRecord(1, page, flags, payload, up2); err != nil {
+		return err
 	}
-	// Durability point: relocated copies reach storage before victims are
-	// reused.
-	if s.opts.Sync {
-		if g := s.open[1]; g >= 0 {
-			if err := s.be.sync(int(g)); err != nil {
-				return 0, 0, err
-			}
-		}
+	s.gcWrites++
+	return nil
+}
+
+// syncGCLocked is the durability point: relocated copies reach storage
+// before victims are reused.
+func (s *Store) syncGCLocked() error {
+	if !s.opts.Sync {
+		return nil
 	}
+	if g := s.open[1]; g >= 0 {
+		return s.be.sync(int(g))
+	}
+	return nil
+}
+
+// releaseVictimsLocked returns victims to the free pool and reports the
+// gross capacity bytes released. Caller holds the write lock.
+func (s *Store) releaseVictimsLocked(victims []int32) (releasedBytes int64) {
 	for _, v := range victims {
 		m := &s.meta[v]
+		if e, ok := s.pendingE[v]; ok {
+			s.cleanedSegs++
+			s.sumEAtClean += e
+			delete(s.pendingE, v)
+		}
+		releasedBytes += m.Capacity
 		m.State = core.SegFree
 		m.Live = 0
 		m.Free = m.Capacity
@@ -150,11 +268,138 @@ func (s *Store) cleanCycle() (victimCount, reclaimedSlots int, err error) {
 		s.fill[v] = 0
 		s.free = append(s.free, v)
 	}
-	reclaimed := len(victims)*s.opts.SegmentPages - len(relocs)
-	return len(victims), reclaimed, nil
+	s.freeCount.Store(int64(len(s.free)))
+	return releasedBytes
+}
+
+// abortVictimsLocked reverts victims to sealed after a failed relocation so
+// a later cycle can retry them.
+func (s *Store) abortVictimsLocked(victims []int32) {
+	for _, v := range victims {
+		if s.meta[v].State == core.SegCleaning {
+			s.meta[v].State = core.SegSealed
+			delete(s.pendingE, v)
+		}
+	}
 }
 
 func (s *Store) alg() core.Algorithm { return s.opts.Algorithm }
+
+// relocChunk is how many records background relocation installs per lock
+// hold, bounding writer stalls behind the cleaner.
+const relocChunk = 16
+
+// cleanerTarget adapts the store to cleaner.Target. The cleaner drives one
+// cycle at a time (SelectVictims → Relocate → Release/Abort), so the
+// candidate snapshot can be carried between calls.
+type cleanerTarget struct {
+	s     *Store
+	cands []cleanCand
+}
+
+func (t *cleanerTarget) FreeSegments() int { return int(t.s.freeCount.Load()) }
+
+func (t *cleanerTarget) SelectVictims(max int) []int32 {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	victims, cands, err := s.selectVictimsLocked(max)
+	if err != nil {
+		// A policy violating the sealed-victims contract is a bug; skip the
+		// cycle rather than corrupt state.
+		return nil
+	}
+	t.cands = cands
+	return victims
+}
+
+func (t *cleanerTarget) Relocate(victims []int32) (int, int64, error) {
+	s := t.s
+	cands := t.cands
+	t.cands = nil
+	// Bulk I/O with no lock held: victim records are frozen by SegCleaning.
+	if err := s.loadCandidates(cands); err != nil {
+		return 0, 0, err
+	}
+	s.sortForGC(cands)
+	// Install in small chunks so user writes interleave with the cleaner.
+	installed, moved, err := cleaner.RelocateChunks(len(cands), relocChunk,
+		func(lo, hi int) (int, int64, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.closed {
+				return 0, 0, errClosed
+			}
+			return s.installRelocsLocked(cands[lo:hi])
+		})
+	if err != nil {
+		return installed, moved, err
+	}
+	// Durability point, without stalling readers/writers behind the fsync:
+	// the segment id is captured under the lock, the sync runs outside it.
+	// If another cycle seals this segment concurrently, seal() already
+	// syncs it, so relocated records are durable either way.
+	if s.opts.Sync {
+		s.mu.Lock()
+		g := s.open[1]
+		s.mu.Unlock()
+		if g >= 0 {
+			if err := s.be.sync(int(g)); err != nil {
+				return installed, moved, err
+			}
+		}
+	}
+	return installed, moved, nil
+}
+
+func (t *cleanerTarget) Release(victims []int32) int64 {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.releaseVictimsLocked(victims)
+}
+
+// Abort reverts victims after a failed relocation — but a victim whose
+// every record was already relocated or dead holds nothing, and releasing
+// it guarantees the cleaner makes progress even when the failure was the
+// GC stream running out of space mid-batch (re-sealing everything would
+// wedge: no free segments, no new garbage from blocked writers, every
+// retry failing the same way). Durability ordering still holds: the GC
+// segment is synced before any drained victim can be reused.
+func (t *cleanerTarget) Abort(victims []int32) {
+	s := t.s
+	t.cands = nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var drained []int32
+	for _, v := range victims {
+		if s.meta[v].State != core.SegCleaning {
+			continue
+		}
+		if s.meta[v].Live == 0 {
+			drained = append(drained, v)
+		} else {
+			s.meta[v].State = core.SegSealed
+			delete(s.pendingE, v)
+		}
+	}
+	if len(drained) == 0 {
+		return
+	}
+	if err := s.syncGCLocked(); err != nil {
+		// Without the durability point the drained victims must stay
+		// frozen; re-seal them for a later cycle.
+		for _, v := range drained {
+			s.meta[v].State = core.SegSealed
+			delete(s.pendingE, v)
+		}
+		return
+	}
+	s.releaseVictimsLocked(drained)
+}
 
 // checkpoint file layout: magic (8) | unow (8) | prunedSeq (8) |
 // nDeleted (4) | deleted page ids | nSegs (4) | per-segment up2 | crc (4).
@@ -267,8 +512,12 @@ func (s *Store) readCheckpoint() (*checkpoint, error) {
 	return ck, nil
 }
 
-// Close seals open segments, checkpoints, and releases resources.
+// Close stops the background cleaner (if any), seals open segments,
+// checkpoints, and releases resources.
 func (s *Store) Close() error {
+	if s.cl != nil {
+		s.cl.Stop()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -300,12 +549,15 @@ type Stats struct {
 	CapacityPages   int
 	FillFactor      float64
 	UpdateClock     uint64
+	// Background reports whether cleaning runs in a background goroutine;
+	// Cleaner is its lifecycle snapshot (zero-valued in foreground mode).
+	Background bool
+	Cleaner    cleaner.Stats
 }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	st := Stats{
 		LivePages:       len(s.table),
 		Tombstones:      len(s.tombstones),
@@ -316,8 +568,9 @@ func (s *Store) Stats() Stats {
 		CapacityPages:   s.opts.MaxSegments * s.opts.SegmentPages,
 		UpdateClock:     s.unow,
 	}
+	// A segment mid-clean still holds sealed data until released.
 	for i := range s.meta {
-		if s.meta[i].State == core.SegSealed {
+		if state := s.meta[i].State; state == core.SegSealed || state == core.SegCleaning {
 			st.SealedSegments++
 		}
 	}
@@ -329,6 +582,11 @@ func (s *Store) Stats() Stats {
 	}
 	if st.CapacityPages > 0 {
 		st.FillFactor = float64(st.LivePages) / float64(st.CapacityPages)
+	}
+	s.mu.RUnlock()
+	if s.cl != nil {
+		st.Background = true
+		st.Cleaner = s.cl.Stats()
 	}
 	return st
 }

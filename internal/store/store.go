@@ -6,20 +6,35 @@
 // internal/core (MDC by default), exactly the machinery evaluated by the
 // simulator.
 //
+// Cleaning runs in one of two modes. In foreground mode (the default) a
+// write that finds the free pool below the low-water mark blocks behind
+// cleaning cycles until the pool recovers. With Options.BackgroundClean the
+// cleaning lifecycle moves to internal/cleaner: a background goroutine
+// driven by low/high watermarks relocates victims while readers and writers
+// keep going, and user writes are only paced (delayed or blocked, per
+// Options.Pacer) when free space falls below an emergency floor. The
+// mapping table is guarded by an RWMutex; victim segments are marked
+// core.SegCleaning, which freezes their records so the cleaner can read
+// them from storage without holding the lock.
+//
 // Durability model: records are appended with CRC-32C; with Options.Sync
 // every segment seal and checkpoint fsyncs. Recovery scans all segments,
 // keeps the highest-sequence record per page, stops a segment at the first
 // torn or corrupt record, and applies the last checkpoint's deletion set.
-// up2 cleaning estimates are restored from the checkpoint when present and
-// relearned otherwise — they affect only cleaning efficiency, never
-// correctness.
+// Relocated copies reach storage before their victims are released for
+// reuse, so mid-clean crashes always leave an intact copy of every live
+// page. up2 cleaning estimates are restored from the checkpoint when
+// present and relearned otherwise — they affect only cleaning efficiency,
+// never correctness.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cleaner"
 	"repro/internal/core"
 )
 
@@ -29,6 +44,9 @@ var ErrNotFound = errors.New("store: page not found")
 // ErrFull is returned when a write cannot proceed because cleaning cannot
 // reclaim enough space (the store is at capacity).
 var ErrFull = errors.New("store: capacity exhausted")
+
+// errClosed is returned by operations on a closed store.
+var errClosed = errors.New("store: closed")
 
 // Options configures a Store.
 type Options struct {
@@ -53,6 +71,23 @@ type Options struct {
 	CleanBatch int
 	// Sync fsyncs segment seals and checkpoints (default false).
 	Sync bool
+
+	// BackgroundClean moves cleaning off the write path into a background
+	// goroutine driven by the free-pool watermarks (see internal/cleaner).
+	// When false, cleaning runs synchronously inside the write path.
+	BackgroundClean bool
+	// FreeHighWater is where the background cleaner stops once started
+	// (default FreeLowWater+CleanBatch, clamped to the geometry). Ignored
+	// in foreground mode.
+	FreeHighWater int
+	// FreeEmergency is the admission-control floor: user writes are paced
+	// (blocked or delayed, per Pacer) while free segments are below it
+	// (default min(CleanBatch+1, FreeLowWater)). Ignored in foreground
+	// mode.
+	FreeEmergency int
+	// Pacer is the admission controller consulted on every user write in
+	// background mode (default cleaner.FloorPacer{}).
+	Pacer cleaner.Pacer
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -87,6 +122,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Algorithm.Router != nil {
 		return o, fmt.Errorf("store: routed algorithm %s is not supported by the page store", o.Algorithm.Name)
 	}
+	// FreeHighWater, FreeEmergency and Pacer defaulting/validation live in
+	// cleaner.Options.withDefaults (one copy for every engine); zero values
+	// pass straight through to cleaner.Start.
 	return o, nil
 }
 
@@ -97,9 +135,11 @@ type pageLoc struct {
 }
 
 // Store is a log-structured page store instance. All methods are safe for
-// concurrent use.
+// concurrent use: reads share an RLock, writes and cleaning installs take
+// the write lock, and in background mode the bulk relocation I/O runs with
+// no lock at all.
 type Store struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	opts Options
 	be   backend
 
@@ -111,8 +151,9 @@ type Store struct {
 	tombstones map[uint32]pageLoc
 
 	free        []int32
-	open        [2]int32   // user, gc open segments (-1 = none)
-	up2Sum      [2]float64 // carried-up2 accumulator per open segment
+	freeCount   atomic.Int64 // len(free), readable without the lock
+	open        [2]int32     // user, gc open segments (-1 = none)
+	up2Sum      [2]float64   // carried-up2 accumulator per open segment
 	incarnation uint64
 
 	unow    uint64
@@ -121,14 +162,17 @@ type Store struct {
 
 	prunedSeq uint64 // deletions at or below this seq are checkpoint-covered
 
-	inGC   bool
 	closed bool
 
 	userWrites, gcWrites uint64
 	cleanedSegs          uint64
 	sumEAtClean          float64
+	pendingE             map[int32]float64 // emptiness-at-selection of in-flight victims
 
-	recBuf []byte
+	recBuf   []byte    // append/recovery record buffer (write lock held)
+	readBufs sync.Pool // per-reader record buffers (RLock held)
+
+	cl *cleaner.Cleaner // background cleaner; nil in foreground mode
 }
 
 type slotInfo struct {
@@ -150,9 +194,14 @@ func Open(opts Options) (*Store, error) {
 		fill:       make([]int, opts.MaxSegments),
 		table:      make(map[uint32]pageLoc),
 		tombstones: make(map[uint32]pageLoc),
+		pendingE:   make(map[int32]float64),
 		open:       [2]int32{-1, -1},
 	}
 	s.recBuf = make([]byte, s.recordSize())
+	s.readBufs.New = func() any {
+		b := make([]byte, s.recordSize())
+		return &b
+	}
 	if opts.Dir == "" {
 		s.be = newMemBackend(opts.MaxSegments)
 	} else {
@@ -170,6 +219,22 @@ func Open(opts Options) (*Store, error) {
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
+	}
+	s.freeCount.Store(int64(len(s.free)))
+	if opts.BackgroundClean {
+		cl, err := cleaner.Start(&cleanerTarget{s: s}, cleaner.Options{
+			LowWater:       opts.FreeLowWater,
+			HighWater:      opts.FreeHighWater,
+			EmergencyFloor: opts.FreeEmergency,
+			Batch:          opts.CleanBatch,
+			TotalSegments:  opts.MaxSegments,
+			Pacer:          opts.Pacer,
+		})
+		if err != nil {
+			s.be.close()
+			return nil, err
+		}
+		s.cl = cl
 	}
 	return s, nil
 }
@@ -316,24 +381,28 @@ func (s *Store) locOf(page uint32, tomb bool) (pageLoc, bool) {
 }
 
 // ReadPage copies page id's current contents into buf (PageSize bytes) and
-// verifies the record checksum and identity.
+// verifies the record checksum and identity. Reads share an RLock, so they
+// proceed concurrently with each other and with background cleaning.
 func (s *Store) ReadPage(id uint32, buf []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return errors.New("store: closed")
-	}
 	if len(buf) < s.opts.PageSize {
 		return fmt.Errorf("store: buffer %d smaller than page size %d", len(buf), s.opts.PageSize)
+	}
+	recBuf := s.readBufs.Get().(*[]byte)
+	defer s.readBufs.Put(recBuf)
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errClosed
 	}
 	loc, ok := s.table[id]
 	if !ok {
 		return ErrNotFound
 	}
-	if err := s.be.read(int(loc.seg), s.slotOffset(int(loc.slot)), s.recBuf); err != nil {
+	if err := s.be.read(int(loc.seg), s.slotOffset(int(loc.slot)), *recBuf); err != nil {
 		return err
 	}
-	h, payload, err := decodeRecord(s.recBuf)
+	h, payload, err := decodeRecord(*recBuf)
 	if err != nil {
 		return err
 	}
@@ -347,39 +416,91 @@ func (s *Store) ReadPage(id uint32, buf []byte) error {
 
 // WritePage stores data (PageSize bytes) as page id's new current version.
 func (s *Store) WritePage(id uint32, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return errors.New("store: closed")
-	}
 	if len(data) != s.opts.PageSize {
 		return fmt.Errorf("store: page data %d bytes, want %d", len(data), s.opts.PageSize)
 	}
-	s.unow++
-	carried := s.invalidate(id)
-	delete(s.tombstones, id) // a rewrite supersedes any pending deletion
-	if err := s.append(0, id, 0, data, carried); err != nil {
-		return err
-	}
-	s.userWrites++
-	return nil
+	return s.userWrite(id, 0, data)
 }
 
 // DeletePage removes page id, writing a tombstone so the deletion survives
 // recovery.
 func (s *Store) DeletePage(id uint32) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return errors.New("store: closed")
+	// Fast path: a nonexistent page returns ErrNotFound immediately rather
+	// than waiting out write admission (which would block below the
+	// emergency floor for a tombstone that will never be written). The
+	// existence check repeats under the write lock.
+	s.mu.RLock()
+	_, ok := s.table[id]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return errClosed
 	}
-	if _, ok := s.table[id]; !ok {
+	if !ok {
 		return ErrNotFound
+	}
+	return s.userWrite(id, flagTombstone, nil)
+}
+
+// userWrite runs admission control and appends one user record. In
+// background mode a write can lose the race for the last free segments to
+// concurrent writers; those transient ErrFulls are retried through
+// admission (which blocks below the emergency floor until the cleaner
+// catches up).
+func (s *Store) userWrite(id uint32, flags uint32, data []byte) error {
+	for attempt := 0; ; attempt++ {
+		if s.cl != nil {
+			if err := s.cl.Admit(); err != nil {
+				if errors.Is(err, cleaner.ErrExhausted) {
+					return fmt.Errorf("%w: %v", ErrFull, err)
+				}
+				return fmt.Errorf("store: write admission: %w", err)
+			}
+		}
+		s.mu.Lock()
+		err := s.userAppendLocked(id, flags, data)
+		lowWater := s.cl != nil && len(s.free) < s.opts.FreeLowWater
+		s.mu.Unlock()
+		if lowWater {
+			s.cl.Kick()
+		}
+		if errors.Is(err, ErrFull) && s.cl != nil && attempt < 4 {
+			continue
+		}
+		return err
+	}
+}
+
+// userAppendLocked validates, reserves log space, and appends one user
+// record. Space is secured BEFORE the old version is invalidated, so a
+// failed append (ErrFull) never loses the page's current version.
+func (s *Store) userAppendLocked(id uint32, flags uint32, data []byte) error {
+	if s.closed {
+		return errClosed
+	}
+	tomb := flags&flagTombstone != 0
+	if tomb {
+		if _, ok := s.table[id]; !ok {
+			return ErrNotFound
+		}
+	}
+	if err := s.ensureOpen(0); err != nil {
+		return err
 	}
 	s.unow++
 	carried := s.invalidate(id)
-	delete(s.table, id)
-	return s.append(0, id, flagTombstone, nil, carried)
+	if tomb {
+		delete(s.table, id)
+	} else {
+		delete(s.tombstones, id) // a rewrite supersedes any pending deletion
+	}
+	if err := s.appendRecord(0, id, flags, data, carried); err != nil {
+		return err
+	}
+	if !tomb {
+		s.userWrites++
+	}
+	return nil
 }
 
 // invalidate releases page id's current version, advancing its segment's
@@ -399,21 +520,31 @@ func (s *Store) invalidate(id uint32) float64 {
 	return carried
 }
 
-// append writes one record to stream's open segment, carrying the page's
-// up2 estimate into the segment's seal-time average.
-func (s *Store) append(stream int32, id uint32, flags uint32, payload []byte, carried float64) error {
-	if s.open[stream] < 0 {
-		if !s.inGC && len(s.free) < s.opts.FreeLowWater {
-			if err := s.clean(); err != nil {
-				return err
-			}
-		}
-		seg, err := s.openSegment(stream)
-		if err != nil {
+// ensureOpen guarantees stream has an open segment with at least one free
+// slot. In foreground mode, opening a user segment below the low-water mark
+// first runs cleaning synchronously; in background mode the cleaner is
+// kicked from the write path instead.
+func (s *Store) ensureOpen(stream int32) error {
+	if s.open[stream] >= 0 {
+		return nil
+	}
+	if stream == 0 && s.cl == nil && len(s.free) < s.opts.FreeLowWater {
+		if err := s.clean(); err != nil {
 			return err
 		}
-		s.open[stream] = seg
 	}
+	seg, err := s.openSegment(stream)
+	if err != nil {
+		return err
+	}
+	s.open[stream] = seg
+	return nil
+}
+
+// appendRecord writes one record to stream's open segment (which must
+// exist), carrying the page's up2 estimate into the segment's seal-time
+// average.
+func (s *Store) appendRecord(stream int32, id uint32, flags uint32, payload []byte, carried float64) error {
 	seg := s.open[stream]
 	slot := s.fill[seg]
 	s.seq++
@@ -439,13 +570,20 @@ func (s *Store) append(stream int32, id uint32, flags uint32, payload []byte, ca
 	return nil
 }
 
-// openSegment takes a free segment and writes its header.
+// openSegment takes a free segment and writes its header. In background
+// mode the user stream leaves the last free segment for the cleaner's GC
+// output, so relocation can always make progress.
 func (s *Store) openSegment(stream int32) (int32, error) {
-	if len(s.free) == 0 {
+	need := 1
+	if stream == 0 && s.cl != nil {
+		need = 2
+	}
+	if len(s.free) < need {
 		return -1, ErrFull
 	}
 	seg := s.free[len(s.free)-1]
 	s.free = s.free[:len(s.free)-1]
+	s.freeCount.Store(int64(len(s.free)))
 	if err := s.be.reset(int(seg)); err != nil {
 		return -1, err
 	}

@@ -10,15 +10,22 @@
 // internal/core reclaim. Because records vary in size, victim priority uses
 // the variable-size declining-cost form of paper §4.4 — the (B-A)/C average
 // live record size is exactly the 1/C factor in core.DecliningCost.
+//
+// Cleaning runs foreground (inside Put, the default) or background with
+// Options.BackgroundClean: the shared engine of internal/cleaner relocates
+// victims — marked core.SegCleaning, which freezes their bytes — in small
+// chunks between user operations, and paces writers only below the
+// emergency floor.
 package vlog
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cleaner"
 	"repro/internal/core"
 )
 
@@ -27,6 +34,9 @@ var ErrFull = errors.New("vlog: capacity exhausted")
 
 // ErrTooLarge means a record exceeds the segment capacity.
 var ErrTooLarge = errors.New("vlog: record larger than a segment")
+
+// errClosed is returned by operations on a closed store.
+var errClosed = errors.New("vlog: closed")
 
 // Options configures a Store.
 type Options struct {
@@ -42,6 +52,19 @@ type Options struct {
 	FreeLowWater int
 	// CleanBatch is the victim count per cycle (default 4).
 	CleanBatch int
+
+	// BackgroundClean moves cleaning off the write path into a background
+	// goroutine driven by the free-pool watermarks (see internal/cleaner).
+	BackgroundClean bool
+	// FreeHighWater is where the background cleaner stops (default
+	// FreeLowWater+CleanBatch, clamped). Ignored in foreground mode.
+	FreeHighWater int
+	// FreeEmergency is the admission-control floor (default
+	// min(CleanBatch+1, FreeLowWater)). Ignored in foreground mode.
+	FreeEmergency int
+	// Pacer is the admission controller for background mode (default
+	// cleaner.FloorPacer{}).
+	Pacer cleaner.Pacer
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -69,6 +92,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Algorithm.Exact || o.Algorithm.Router != nil {
 		return o, fmt.Errorf("vlog: algorithm %s is not supported (needs an oracle or routing)", o.Algorithm.Name)
 	}
+	// FreeHighWater, FreeEmergency and Pacer defaulting/validation live in
+	// cleaner.Options.withDefaults (one copy for every engine); zero values
+	// pass straight through to cleaner.Start.
 	return o, nil
 }
 
@@ -87,7 +113,10 @@ type openSeg struct {
 	up2Sum float64
 }
 
-// Store is an in-memory log-structured KV store. Safe for concurrent use.
+// Store is an in-memory log-structured KV store. Safe for concurrent use:
+// Gets share an RLock, Puts/Deletes and cleaning installs take the write
+// lock, and the background cleaner works in small chunks so user
+// operations interleave with it.
 type Store struct {
 	mu   sync.RWMutex
 	opts Options
@@ -96,17 +125,22 @@ type Store struct {
 	meta []core.SegmentMeta
 	fill []int // valid bytes per segment
 
-	index map[string]loc
-	free  []int32
-	open  [2]openSeg
+	index     map[string]loc
+	free      []int32
+	freeCount atomic.Int64 // len(free), readable without the lock
+	open      [2]openSeg
 
 	unow    uint64
 	sealSeq uint64
+	closed  bool
 
 	userWrites, gcWrites          uint64
 	userBytes, gcBytes, liveBytes uint64
 	cleanedSegs                   uint64
 	sumEAtClean                   float64
+	pendingE                      map[int32]float64 // emptiness-at-selection of in-flight victims
+
+	cl *cleaner.Cleaner // background cleaner; nil in foreground mode
 }
 
 // New creates a store.
@@ -116,12 +150,13 @@ func New(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		opts:  opts,
-		segs:  make([][]byte, opts.MaxSegments),
-		meta:  make([]core.SegmentMeta, opts.MaxSegments),
-		fill:  make([]int, opts.MaxSegments),
-		index: make(map[string]loc),
-		open:  [2]openSeg{{id: -1}, {id: -1}},
+		opts:     opts,
+		segs:     make([][]byte, opts.MaxSegments),
+		meta:     make([]core.SegmentMeta, opts.MaxSegments),
+		fill:     make([]int, opts.MaxSegments),
+		index:    make(map[string]loc),
+		pendingE: make(map[int32]float64),
+		open:     [2]openSeg{{id: -1}, {id: -1}},
 	}
 	for i := range s.meta {
 		s.meta[i].Capacity = int64(opts.SegmentBytes)
@@ -130,7 +165,33 @@ func New(opts Options) (*Store, error) {
 	for i := opts.MaxSegments - 1; i >= 0; i-- {
 		s.free = append(s.free, int32(i))
 	}
+	s.freeCount.Store(int64(len(s.free)))
+	if opts.BackgroundClean {
+		cl, err := cleaner.Start(&cleanerTarget{s: s}, cleaner.Options{
+			LowWater:       opts.FreeLowWater,
+			HighWater:      opts.FreeHighWater,
+			EmergencyFloor: opts.FreeEmergency,
+			Batch:          opts.CleanBatch,
+			TotalSegments:  opts.MaxSegments,
+			Pacer:          opts.Pacer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cl = cl
+	}
 	return s, nil
+}
+
+// Close stops the background cleaner (if any). The store itself is
+// volatile, so there is nothing to persist; further operations fail.
+func (s *Store) Close() {
+	if s.cl != nil {
+		s.cl.Stop()
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
 }
 
 func recSize(key string, valLen int) int { return recHeader + len(key) + valLen }
@@ -159,17 +220,46 @@ func (s *Store) decode(l loc) (key string, val []byte) {
 
 // Put stores value under key, replacing any existing value.
 func (s *Store) Put(key string, value []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	size := recSize(key, len(value))
 	if size > s.opts.SegmentBytes {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, s.opts.SegmentBytes)
 	}
-	s.unow++
-	carried := s.invalidate(key)
-	if err := s.append(0, key, value, carried); err != nil {
+	for attempt := 0; ; attempt++ {
+		if s.cl != nil {
+			if err := s.cl.Admit(); err != nil {
+				if errors.Is(err, cleaner.ErrExhausted) {
+					return fmt.Errorf("%w: %v", ErrFull, err)
+				}
+				return fmt.Errorf("vlog: write admission: %w", err)
+			}
+		}
+		s.mu.Lock()
+		err := s.putLocked(key, value, size)
+		lowWater := s.cl != nil && len(s.free) < s.opts.FreeLowWater
+		s.mu.Unlock()
+		if lowWater {
+			s.cl.Kick()
+		}
+		if errors.Is(err, ErrFull) && s.cl != nil && attempt < 4 {
+			continue
+		}
 		return err
 	}
+}
+
+// putLocked reserves log space, then invalidates the old version and writes
+// the record. Space is secured first so a failed Put (ErrFull) never loses
+// the key's current value.
+func (s *Store) putLocked(key string, value []byte, size int) error {
+	if s.closed {
+		return errClosed
+	}
+	if err := s.ensureRoom(0, size); err != nil {
+		return err
+	}
+	s.unow++
+	carried := s.invalidate(key)
+	s.writeRecord(0, key, value, carried)
 	s.userWrites++
 	s.userBytes += uint64(size)
 	s.liveBytes += uint64(size)
@@ -177,10 +267,14 @@ func (s *Store) Put(key string, value []byte) error {
 }
 
 // Delete removes key. Deleting an absent key is a no-op: the store is
-// volatile, so no tombstone is needed.
+// volatile, so no tombstone is needed. Deleting on a closed store is also
+// a no-op.
 func (s *Store) Delete(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
 	s.unow++
 	s.invalidate(key)
 	delete(s.index, key)
@@ -204,36 +298,53 @@ func (s *Store) invalidate(key string) float64 {
 	return carried
 }
 
-// append writes a record into stream's open segment.
-func (s *Store) append(stream int32, key string, value []byte, carried float64) error {
-	size := recSize(key, len(value))
+// ensureRoom guarantees stream's open segment can take size more bytes,
+// sealing and reopening as needed. Opening a user segment below the
+// low-water mark runs foreground cleaning when no background cleaner owns
+// the lifecycle. In background mode the user stream leaves the last free
+// segment for GC output.
+func (s *Store) ensureRoom(stream int32, size int) error {
 	o := &s.open[stream]
 	if o.id >= 0 && o.off+size > s.opts.SegmentBytes {
 		s.seal(stream)
 	}
-	if o.id < 0 {
-		if stream == 0 && len(s.free) < s.opts.FreeLowWater {
-			if err := s.clean(); err != nil {
-				return err
-			}
-		}
-		if len(s.free) == 0 {
-			return ErrFull
-		}
-		id := s.free[len(s.free)-1]
-		s.free = s.free[:len(s.free)-1]
-		if s.segs[id] == nil {
-			s.segs[id] = make([]byte, s.opts.SegmentBytes)
-		}
-		s.meta[id] = core.SegmentMeta{
-			Capacity: int64(s.opts.SegmentBytes),
-			Free:     int64(s.opts.SegmentBytes),
-			Stream:   stream,
-			State:    core.SegOpen,
-		}
-		s.fill[id] = 0
-		*o = openSeg{id: id}
+	if o.id >= 0 {
+		return nil
 	}
+	if stream == 0 && s.cl == nil && len(s.free) < s.opts.FreeLowWater {
+		if err := s.clean(); err != nil {
+			return err
+		}
+	}
+	need := 1
+	if stream == 0 && s.cl != nil {
+		need = 2
+	}
+	if len(s.free) < need {
+		return ErrFull
+	}
+	id := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.freeCount.Store(int64(len(s.free)))
+	if s.segs[id] == nil {
+		s.segs[id] = make([]byte, s.opts.SegmentBytes)
+	}
+	s.meta[id] = core.SegmentMeta{
+		Capacity: int64(s.opts.SegmentBytes),
+		Free:     int64(s.opts.SegmentBytes),
+		Stream:   stream,
+		State:    core.SegOpen,
+	}
+	s.fill[id] = 0
+	*o = openSeg{id: id}
+	return nil
+}
+
+// writeRecord appends a record into stream's open segment, which must have
+// room (see ensureRoom).
+func (s *Store) writeRecord(stream int32, key string, value []byte, carried float64) {
+	size := recSize(key, len(value))
+	o := &s.open[stream]
 	b := s.segs[o.id][o.off:]
 	binary.LittleEndian.PutUint16(b[0:2], uint16(len(key)))
 	binary.LittleEndian.PutUint32(b[2:6], uint32(len(value)))
@@ -247,7 +358,6 @@ func (s *Store) append(stream int32, key string, value []byte, carried float64) 
 	m := &s.meta[o.id]
 	m.Live++
 	m.Free -= int64(size)
-	return nil
 }
 
 // seal closes a stream's open segment and installs the average carried up2
@@ -266,79 +376,6 @@ func (s *Store) seal(stream int32) {
 		m.Up2 = o.up2Sum / float64(o.count)
 	}
 	*o = openSeg{id: -1}
-}
-
-type reloc struct {
-	key string
-	val []byte
-	up2 float64
-}
-
-// clean reclaims space until the free pool is back above the low-water
-// mark, relocating live records sorted coldest-first when the algorithm
-// separates GC writes.
-func (s *Store) clean() error {
-	guard := 0
-	dry := 0
-	for len(s.free) < s.opts.FreeLowWater {
-		view := core.View{Now: s.unow, Segs: s.meta}
-		victims := s.opts.Algorithm.Policy.Victims(view, s.opts.CleanBatch, nil)
-		if len(victims) == 0 {
-			return ErrFull
-		}
-		var relocs []reloc
-		var liveBytes int
-		for _, v := range victims {
-			m := &s.meta[v]
-			s.sumEAtClean += m.Emptiness()
-			s.cleanedSegs++
-			off := 0
-			for off < s.fill[v] {
-				l := loc{seg: v, off: int32(off)}
-				key, val := s.decode(l)
-				size := recSize(key, len(val))
-				if cur, ok := s.index[key]; ok && cur == l {
-					relocs = append(relocs, reloc{key: key, val: val, up2: m.Up2})
-					liveBytes += size
-				}
-				off += size
-			}
-		}
-		if s.opts.Algorithm.SortGC {
-			sort.SliceStable(relocs, func(i, j int) bool { return relocs[i].up2 < relocs[j].up2 })
-		}
-		// Free victims only after their live records are copied out; the
-		// relocation buffers alias victim memory, so copy before reuse.
-		for _, r := range relocs {
-			v := make([]byte, len(r.val))
-			copy(v, r.val)
-			if err := s.append(1, r.key, v, r.up2); err != nil {
-				return err
-			}
-			s.gcWrites++
-			s.gcBytes += uint64(recSize(r.key, len(v)))
-		}
-		for _, v := range victims {
-			m := &s.meta[v]
-			m.State = core.SegFree
-			m.Live = 0
-			m.Free = m.Capacity
-			m.Up2 = 0
-			s.fill[v] = 0
-			s.free = append(s.free, v)
-		}
-		if liveBytes == len(victims)*s.opts.SegmentBytes {
-			if dry++; dry >= 2 {
-				return fmt.Errorf("vlog: live data at capacity: %w", ErrFull)
-			}
-		} else {
-			dry = 0
-		}
-		if guard++; guard > 4*s.opts.MaxSegments {
-			return fmt.Errorf("vlog: cleaning cannot converge: %w", ErrFull)
-		}
-	}
-	return nil
 }
 
 // Len returns the number of live keys.
@@ -361,12 +398,15 @@ type Stats struct {
 	WriteAmp        float64 // GC bytes per user byte
 	MeanEAtClean    float64
 	FreeSegments    int
+	// Background reports whether cleaning runs in a background goroutine;
+	// Cleaner is its lifecycle snapshot (zero-valued in foreground mode).
+	Background bool
+	Cleaner    cleaner.Stats
 }
 
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	st := Stats{
 		Keys:            len(s.index),
 		LiveBytes:       s.liveBytes,
@@ -383,6 +423,11 @@ func (s *Store) Stats() Stats {
 	}
 	if s.cleanedSegs > 0 {
 		st.MeanEAtClean = s.sumEAtClean / float64(s.cleanedSegs)
+	}
+	s.mu.RUnlock()
+	if s.cl != nil {
+		st.Background = true
+		st.Cleaner = s.cl.Stats()
 	}
 	return st
 }

@@ -11,14 +11,21 @@
 //
 // # Quick start
 //
-//	st, err := repro.OpenStore(repro.StoreOptions{Dir: "/data/pages"})
+//	st, err := repro.OpenStore(repro.StoreOptions{
+//		Dir:             "/data/pages",
+//		BackgroundClean: true, // reclaim space off the write path
+//	})
 //	...
 //	st.WritePage(42, page)        // log-structured, never in place
 //	st.ReadPage(42, buf)          // CRC-verified
 //	st.Close()                    // checkpoint + durable shutdown
 //
 // Cleaning runs automatically with the MDC policy; pass a different
-// Algorithm (repro.Greedy(), repro.CostBenefit(), ...) to compare.
+// Algorithm (repro.Greedy(), repro.CostBenefit(), ...) to compare. With
+// BackgroundClean a watermark-driven goroutine (internal/cleaner) relocates
+// victims while reads and writes proceed, and writers are paced only when
+// free space nears exhaustion; without it, cleaning runs synchronously
+// inside the write path. Stats().Cleaner reports the background lifecycle.
 //
 // # Reproducing the paper
 //
@@ -32,6 +39,7 @@ import (
 	"io"
 
 	"repro/internal/analysis"
+	"repro/internal/cleaner"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -144,6 +152,28 @@ var (
 
 // OpenStore creates or recovers a durable page store.
 func OpenStore(opts StoreOptions) (*Store, error) { return store.Open(opts) }
+
+// Background cleaning (StoreOptions.BackgroundClean / KVOptions.
+// BackgroundClean): the shared watermark-driven reclamation engine.
+type (
+	// CleanerStats is the background cleaner's lifecycle snapshot, exposed
+	// through StoreStats.Cleaner and KVStats.Cleaner: cycles, segments
+	// reclaimed, bytes relocated, and how long writers were paced.
+	CleanerStats = cleaner.Stats
+	// Pacer decides how user writes are admitted while cleaning runs in
+	// the background (StoreOptions.Pacer / KVOptions.Pacer).
+	Pacer = cleaner.Pacer
+	// PoolState is the free-pool snapshot a Pacer sees.
+	PoolState = cleaner.PoolState
+	// Admission is a Pacer's decision for one write.
+	Admission = cleaner.Admission
+	// FloorPacer (the default) admits writes untouched above the emergency
+	// floor and blocks below it.
+	FloorPacer = cleaner.FloorPacer
+	// RampPacer throttles progressively as the pool drains toward the
+	// floor, then blocks.
+	RampPacer = cleaner.RampPacer
+)
 
 // In-memory value-log KV store (variable-size records).
 type (
