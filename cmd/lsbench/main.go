@@ -7,6 +7,7 @@
 //	lsbench -exp fig5 -scale small -v       # one experiment with progress
 //	lsbench -exp table1 -format csv
 //	lsbench -exp cleaner -scale medium      # foreground vs background cleaning tail latency
+//	lsbench -exp routing -scale medium      # routed vs single-stream placement on the live engines
 package main
 
 import (
@@ -24,7 +25,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lsbench: ")
 
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig3, fig4, fig5, fig6, cleaner")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig3, fig4, fig5, fig6, cleaner, routing")
 	scaleName := flag.String("scale", "medium", "geometry preset: small, medium, paper")
 	format := flag.String("format", "md", "output format: md, csv")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
@@ -63,6 +64,10 @@ func main() {
 		// Beyond the paper: foreground vs background cleaning write tail
 		// on the page store, with the cleaner lifecycle stats.
 		tables = append(tables, experiments.CleanerLatency(scale, progress))
+	case "routing":
+		// Beyond the paper: routed multi-stream placement vs single-stream
+		// MDC on the live engines (the §5.3 separation as placement).
+		tables = append(tables, experiments.StreamRouting(scale, progress))
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

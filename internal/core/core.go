@@ -116,15 +116,27 @@ type Policy interface {
 }
 
 // Router assigns page writes to append streams. Policies that separate data
-// into multiple logs (multi-log) implement it; for the others the engine uses
-// its default two streams (user and GC).
+// into multiple logs (multi-log, the temperature-routed MDC variant)
+// implement it; for the others the engine uses its default two streams
+// (user and GC). With a router, user AND relocation writes share one stream
+// space: the engine routes every append through Route, so hot and cold GC
+// output lands in different segments (§5.3) instead of one monolithic GC
+// stream.
 type Router interface {
 	// Route returns the stream for a page write. estInterval is the
 	// observed update interval now-lastWrite (0 when the page has no
 	// history); exactRate is the oracle update rate or a negative value
 	// when unknown. Implementations choose which signal to use.
 	Route(estInterval uint64, exactRate float64) int32
+	// Streams returns the size of the stream space: Route only returns ids
+	// in [0, Streams). Engines size their open-segment tables (and their
+	// free-pool reserves) from it; it must not exceed MaxRouterStreams.
+	Streams() int32
 }
+
+// MaxRouterStreams bounds Router.Streams so engines can track observed
+// streams in a 64-bit mask and size reserves sanely.
+const MaxRouterStreams = 64
 
 // Algorithm bundles a Policy with the write-path behavior the paper's
 // evaluation attaches to it (§6.1.3): whether user and GC writes are

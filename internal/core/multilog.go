@@ -51,6 +51,9 @@ func MultiLogOpt() Algorithm {
 // orders of magnitude cover update intervals from 1 to ~268M ticks.
 const DefaultMaxBands = 28
 
+// Streams reports the size of the stream space: one log per frequency band.
+func (p *multiLog) Streams() int32 { return p.maxBands }
+
 func (p *multiLog) Name() string {
 	if p.exact {
 		return "multi-log-opt"

@@ -16,6 +16,7 @@ var factories = map[string]func() Algorithm{
 	"multi-log-opt":        MultiLogOpt,
 	"MDC":                  MDC,
 	"MDC-opt":              MDCOpt,
+	"MDC-routed":           MDCRouted,
 	"MDC-no-sep-user":      MDCNoSepUser,
 	"MDC-no-sep-user-GC":   MDCNoSepUserGC,
 }

@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // NextUp2 applies the update-history carry rule of paper §5.2.2 when a page
 // whose prior version lives in a segment with penultimate-update estimate
 // segUp2 is updated at time now (update-count clock): the prior up1 is
@@ -24,4 +26,25 @@ func EstimatedInterval(up2 float64, now uint64) float64 {
 		return 1
 	}
 	return iv
+}
+
+// SmoothInterval folds a newly observed update interval into a running
+// midpoint estimate: a single exponential interval sample has coefficient of
+// variation 1, far too noisy to band pages by, so routers feed on the
+// midpoint of successive observations instead. prev == 0 means no prior
+// estimate; the result is clamped to [1, MaxUint32].
+func SmoothInterval(prev uint32, obs uint64) uint32 {
+	if obs == 0 {
+		obs = 1
+	}
+	if obs > math.MaxUint32 {
+		obs = math.MaxUint32
+	}
+	if prev != 0 {
+		obs = (uint64(prev) + obs) / 2
+		if obs == 0 {
+			obs = 1
+		}
+	}
+	return uint32(obs)
 }

@@ -117,11 +117,10 @@ type Sim struct {
 	bufCap    int
 	bufMinUp2 float64
 
-	unow        uint64
-	sealSeq     uint64
-	inGC        bool
-	seenStreams int    // distinct streams ever appended to (router reserve)
-	seenMask    uint64 // bitmask of seen stream ids
+	unow    uint64
+	sealSeq uint64
+	inGC    bool
+	seen    core.StreamSet // streams ever appended to (router reserve)
 
 	scratchVictims []int32
 	scratchPages   []bufEnt
@@ -151,7 +150,10 @@ func New(cfg Config, alg core.Algorithm, gen workload.Generator) (*Sim, error) {
 	}
 	streams := 2
 	if alg.Router != nil {
-		streams = core.DefaultMaxBands + 1
+		// Exactly one open segment per declared stream: a router that is
+		// off by one must fail the explicit appendPage check ("router must
+		// clamp its bands"), not quietly fill a phantom slack stream.
+		streams = int(alg.Router.Streams())
 	}
 	slackSegs := cfg.NumSegments - (p+cfg.SegmentPages-1)/cfg.SegmentPages
 	if slackSegs < cfg.FreeLowWater+streams+2 {
@@ -349,16 +351,7 @@ func (s *Sim) routeUser(est uint64, rate float64) int32 {
 // estimating from "time since last write" at relocation would let cleaning
 // churn pollute the hot logs with its own young victims.
 func (s *Sim) noteInterval(p uint32, est uint64) {
-	if est > math.MaxUint32 {
-		est = math.MaxUint32
-	}
-	if prev := s.ivlEst[p]; prev != 0 {
-		est = (uint64(prev) + est) / 2
-		if est == 0 {
-			est = 1
-		}
-	}
-	s.ivlEst[p] = uint32(est)
+	s.ivlEst[p] = core.SmoothInterval(s.ivlEst[p], est)
 }
 
 // routeGC picks the append stream for a relocated page: the router when
@@ -382,10 +375,7 @@ func (s *Sim) appendPage(stream int32, p uint32, carried float64, rate float64) 
 	if int(stream) >= len(s.open) {
 		panic(fmt.Sprintf("sim: stream %d outside pre-sized open table (%d); router must clamp its bands", stream, len(s.open)))
 	}
-	if s.seenMask&(1<<uint(stream)) == 0 {
-		s.seenMask |= 1 << uint(stream)
-		s.seenStreams++
-	}
+	s.seen.Note(stream)
 	if s.open[stream].id < 0 && !s.inGC && len(s.free) < s.lowWater() {
 		s.runGC(stream)
 	}
@@ -446,7 +436,7 @@ func (s *Sim) popFree(stream int32) int32 {
 func (s *Sim) lowWater() int {
 	lw := s.cfg.FreeLowWater
 	if s.alg.Router != nil {
-		lw += s.seenStreams
+		lw += s.seen.Count()
 	}
 	return lw
 }

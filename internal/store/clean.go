@@ -45,7 +45,7 @@ type cleanCand struct {
 func (s *Store) clean() error {
 	guard := 0
 	dry := 0
-	for len(s.free) < s.opts.FreeLowWater {
+	for len(s.free) < s.lowWaterLocked() {
 		n, net, err := s.cleanCycleLocked()
 		if err != nil {
 			return err
@@ -63,7 +63,7 @@ func (s *Store) clean() error {
 			dry = 0
 		}
 		if guard++; guard > 4*s.opts.MaxSegments {
-			return fmt.Errorf("store: cleaning cannot reach %d free segments: %w", s.opts.FreeLowWater, ErrFull)
+			return fmt.Errorf("store: cleaning cannot reach %d free segments: %w", s.lowWaterLocked(), ErrFull)
 		}
 	}
 	return nil
@@ -110,7 +110,7 @@ func (s *Store) cleanCycleLocked() (victimCount int, netBytes int64, err error) 
 // SegCleaning (freezing their records), and snapshots their live slots.
 // Caller holds the write lock.
 func (s *Store) selectVictimsLocked(max int) ([]int32, []cleanCand, error) {
-	view := core.View{Now: s.unow, Segs: s.meta}
+	view := core.View{Now: s.unow, Segs: s.meta, TriggerStream: s.trigger}
 	victims := s.alg().Policy.Victims(view, max, nil)
 	if len(victims) == 0 {
 		return nil, nil, nil
@@ -226,15 +226,50 @@ func (s *Store) releaseVictimSlot(seg int32) {
 	m.Free += s.recordSize()
 }
 
+// gcAppendLocked relocates one record. Without a router everything goes to
+// the dedicated GC stream 1; with one, the relocation is routed by the
+// interval implied by its carried up2 (§4.3's unow-up2 estimator), so hot
+// and cold GC output land in different segments (§5.3) instead of one
+// monolithic GC stream.
 func (s *Store) gcAppendLocked(page uint32, flags uint32, payload []byte, up2 float64) error {
-	if err := s.ensureOpen(1); err != nil {
+	stream := int32(1)
+	if r := s.alg().Router; r != nil {
+		stream = core.ClampStream(r.Route(uint64(core.EstimatedInterval(up2, s.unow)), -1), s.streams)
+	}
+	if err := s.ensureOpen(stream, true); err != nil {
 		return err
 	}
-	if err := s.appendRecord(1, page, flags, payload, up2); err != nil {
+	seg := s.open[stream]
+	if err := s.appendRecord(stream, page, flags, payload, up2); err != nil {
 		return err
+	}
+	if s.gcDirtySegs != nil {
+		s.gcDirtySegs[seg] = struct{}{}
 	}
 	s.gcWrites++
 	return nil
+}
+
+// gcDirtyListLocked snapshots the segments holding not-yet-durable GC
+// output. The sync point syncs them by id whether they are still open or
+// were sealed mid-cycle by a user write (a failed seal-fsync surfaces to
+// that writer, never to the cleaning cycle, so the cycle must not rely on
+// it); ids are only removed once their sync succeeded.
+func (s *Store) gcDirtyListLocked() []int32 {
+	if len(s.gcDirtySegs) == 0 {
+		return nil
+	}
+	segs := make([]int32, 0, len(s.gcDirtySegs))
+	for g := range s.gcDirtySegs {
+		segs = append(segs, g)
+	}
+	return segs
+}
+
+func (s *Store) clearGCDirtyLocked(segs []int32) {
+	for _, g := range segs {
+		delete(s.gcDirtySegs, g)
+	}
 }
 
 // syncGCLocked is the durability point: relocated copies reach storage
@@ -243,9 +278,13 @@ func (s *Store) syncGCLocked() error {
 	if !s.opts.Sync {
 		return nil
 	}
-	if g := s.open[1]; g >= 0 {
-		return s.be.sync(int(g))
+	segs := s.gcDirtyListLocked()
+	for _, g := range segs {
+		if err := s.be.sync(int(g)); err != nil {
+			return err
+		}
 	}
+	s.clearGCDirtyLocked(segs)
 	return nil
 }
 
@@ -266,6 +305,12 @@ func (s *Store) releaseVictimsLocked(victims []int32) (releasedBytes int64) {
 		m.Up2 = 0
 		s.slots[v] = s.slots[v][:0]
 		s.fill[v] = 0
+		// A stale dirty id from an aborted cycle no longer matters once the
+		// segment's live data was re-relocated and synced; drop it so the
+		// reused segment is not pointlessly fsynced.
+		if s.gcDirtySegs != nil {
+			delete(s.gcDirtySegs, v)
+		}
 		s.free = append(s.free, v)
 	}
 	s.freeCount.Store(int64(len(s.free)))
@@ -339,18 +384,24 @@ func (t *cleanerTarget) Relocate(victims []int32) (int, int64, error) {
 		return installed, moved, err
 	}
 	// Durability point, without stalling readers/writers behind the fsync:
-	// the segment id is captured under the lock, the sync runs outside it.
-	// If another cycle seals this segment concurrently, seal() already
-	// syncs it, so relocated records are durable either way.
+	// the dirty segment ids are captured under the lock, the syncs run
+	// outside it, and the ids are removed only once every sync succeeded
+	// (a failed sync leaves them for Abort's own durability point). A
+	// segment sealed concurrently is still synced here by id — the cycle
+	// never relies on seal()'s fsync, whose error goes to the sealing
+	// writer.
 	if s.opts.Sync {
 		s.mu.Lock()
-		g := s.open[1]
+		gs := s.gcDirtyListLocked()
 		s.mu.Unlock()
-		if g >= 0 {
+		for _, g := range gs {
 			if err := s.be.sync(int(g)); err != nil {
 				return installed, moved, err
 			}
 		}
+		s.mu.Lock()
+		s.clearGCDirtyLocked(gs)
+		s.mu.Unlock()
 	}
 	return installed, moved, nil
 }
@@ -447,22 +498,52 @@ func (s *Store) checkpointLocked() error {
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 
+	// Atomic install: write the temporary file (fsynced under Options.Sync,
+	// with the error propagated — a silently failed sync would let a crash
+	// lose the checkpoint the caller was just promised), rename it over the
+	// old checkpoint, then fsync the directory so the rename itself is
+	// durable.
 	tmp := s.checkpointPath() + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
 		return fmt.Errorf("store: writing checkpoint: %w", err)
 	}
 	if s.opts.Sync {
-		f, err := os.Open(tmp)
-		if err == nil {
-			f.Sync()
+		if err := f.Sync(); err != nil {
 			f.Close()
+			return fmt.Errorf("store: syncing checkpoint: %w", err)
 		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, s.checkpointPath()); err != nil {
 		return fmt.Errorf("store: installing checkpoint: %w", err)
 	}
+	if s.opts.Sync {
+		if err := syncDir(s.opts.Dir); err != nil {
+			return fmt.Errorf("store: syncing checkpoint directory: %w", err)
+		}
+	}
 	s.prunedSeq = s.seq
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-installed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // readCheckpoint loads and verifies the checkpoint, returning nil when none
@@ -523,7 +604,7 @@ func (s *Store) Close() error {
 	if s.closed {
 		return nil
 	}
-	for stream := int32(0); stream < 2; stream++ {
+	for stream := int32(0); stream < s.streams; stream++ {
 		if err := s.seal(stream); err != nil {
 			return err
 		}
@@ -549,6 +630,9 @@ type Stats struct {
 	CapacityPages   int
 	FillFactor      float64
 	UpdateClock     uint64
+	// Streams counts the append streams ever written to: 2 for the classic
+	// user+GC layout, more when a routed algorithm spreads placement.
+	Streams int
 	// Background reports whether cleaning runs in a background goroutine;
 	// Cleaner is its lifecycle snapshot (zero-valued in foreground mode).
 	Background bool
@@ -567,6 +651,7 @@ func (s *Store) Stats() Stats {
 		SegmentsCleaned: s.cleanedSegs,
 		CapacityPages:   s.opts.MaxSegments * s.opts.SegmentPages,
 		UpdateClock:     s.unow,
+		Streams:         s.seen.Count(),
 	}
 	// A segment mid-clean still holds sealed data until released.
 	for i := range s.meta {

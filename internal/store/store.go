@@ -6,6 +6,13 @@
 // internal/core (MDC by default), exactly the machinery evaluated by the
 // simulator.
 //
+// Placement is stream-aware: by default user data and GC relocations fill
+// two separate append streams, and a routed algorithm (multi-log, the
+// temperature-routed MDC variant) fans both out across N frequency-banded
+// streams so that pages with similar update intervals share segments — the
+// §5.3 separation that the simulator achieves with its sort buffer,
+// realized here as routed placement.
+//
 // Cleaning runs in one of two modes. In foreground mode (the default) a
 // write that finds the free pool below the low-water mark blocks behind
 // cleaning cycles until the pool recovers. With Options.BackgroundClean the
@@ -31,6 +38,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -60,8 +68,10 @@ type Options struct {
 	// MaxSegments bounds the physical capacity (default 128).
 	MaxSegments int
 	// Algorithm is the cleaning policy bundle (default core.MDC()).
-	// Exact-rate variants are not supported here: a live store has no
-	// update-rate oracle.
+	// Routed algorithms (core.MultiLog, core.MDCRouted) spread user and GC
+	// appends across Router.Streams() per-temperature streams, driven by a
+	// per-page last-write clock. Exact-rate variants are not supported: a
+	// live store has no update-rate oracle.
 	Algorithm core.Algorithm
 	// FreeLowWater triggers cleaning when free segments fall below it
 	// (default CleanBatch+4; must exceed CleanBatch so relocations always
@@ -119,8 +129,22 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Algorithm.Exact {
 		return o, fmt.Errorf("store: exact-rate algorithm %s needs a workload oracle; use the estimator variant", o.Algorithm.Name)
 	}
-	if o.Algorithm.Router != nil {
-		return o, fmt.Errorf("store: routed algorithm %s is not supported by the page store", o.Algorithm.Name)
+	if r := o.Algorithm.Router; r != nil {
+		n := int(r.Streams())
+		if n < 2 || n > core.MaxRouterStreams {
+			return o, fmt.Errorf("store: routed algorithm %s declares %d streams (want 2..%d)",
+				o.Algorithm.Name, n, core.MaxRouterStreams)
+		}
+		// Every stream can hold a partially-filled open segment (pinned:
+		// only sealed segments are cleaning victims) AND adds one to the
+		// effective low-water reserve, so the geometry must cover both —
+		// with only the single-streams margin, a workload spreading thin
+		// data across many bands can wedge into permanent ErrFull with
+		// zero sealed segments and a free pool below the padded mark.
+		if o.MaxSegments < o.FreeLowWater+2*n+2 {
+			return o, fmt.Errorf("store: routed algorithm %s needs MaxSegments >= FreeLowWater(%d) + 2*streams(%d) + 2",
+				o.Algorithm.Name, o.FreeLowWater, n)
+		}
 	}
 	// FreeHighWater, FreeEmergency and Pacer defaulting/validation live in
 	// cleaner.Options.withDefaults (one copy for every engine); zero values
@@ -152,9 +176,26 @@ type Store struct {
 
 	free        []int32
 	freeCount   atomic.Int64 // len(free), readable without the lock
-	open        [2]int32     // user, gc open segments (-1 = none)
-	up2Sum      [2]float64   // carried-up2 accumulator per open segment
+	open        []int32      // open segment per stream (-1 = none)
+	up2Sum      []float64    // carried-up2 accumulator per open segment
 	incarnation uint64
+
+	// Stream routing. Without a router there are two fixed streams (user=0,
+	// GC=1); with one, user and GC appends share Router.Streams() streams
+	// chosen by estimated update interval. clock tracks each live page's
+	// last user-write tick and smoothed interval estimate — the router's
+	// signal — and is nil when no router is configured.
+	streams int32
+	clock   map[uint32]pageClock
+	seen    core.StreamSet // streams ever appended to (free-pool reserve)
+	trigger int32          // stream of the most recent user append (View.TriggerStream)
+
+	// gcDirtySegs tracks the SEGMENTS holding GC output not yet covered by
+	// a cleaning sync point (Options.Sync only). Segments, not streams: a
+	// user write can seal a shared routed segment and its seal-fsync error
+	// goes to that writer, so the cleaning cycle must re-sync the segment
+	// itself — open or sealed — before treating its relocations as durable.
+	gcDirtySegs map[int32]struct{}
 
 	unow    uint64
 	seq     uint64
@@ -181,11 +222,24 @@ type slotInfo struct {
 	tombstone bool
 }
 
+// pageClock is a live page's update history: the update-clock tick of its
+// last user write and the smoothed interval between successive writes
+// (core.SmoothInterval). It exists only when a router needs the signal.
+type pageClock struct {
+	last uint64
+	est  uint32
+}
+
 // Open creates or recovers a store.
 func Open(opts Options) (*Store, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	streams, routedStreams := int32(2), 0
+	if r := opts.Algorithm.Router; r != nil {
+		streams = r.Streams()
+		routedStreams = int(streams)
 	}
 	s := &Store{
 		opts:       opts,
@@ -195,7 +249,18 @@ func Open(opts Options) (*Store, error) {
 		table:      make(map[uint32]pageLoc),
 		tombstones: make(map[uint32]pageLoc),
 		pendingE:   make(map[int32]float64),
-		open:       [2]int32{-1, -1},
+		streams:    streams,
+		open:       make([]int32, streams),
+		up2Sum:     make([]float64, streams),
+	}
+	for i := range s.open {
+		s.open[i] = -1
+	}
+	if opts.Algorithm.Router != nil {
+		s.clock = make(map[uint32]pageClock)
+	}
+	if opts.Sync {
+		s.gcDirtySegs = make(map[int32]struct{})
 	}
 	s.recBuf = make([]byte, s.recordSize())
 	s.readBufs.New = func() any {
@@ -228,6 +293,7 @@ func Open(opts Options) (*Store, error) {
 			EmergencyFloor: opts.FreeEmergency,
 			Batch:          opts.CleanBatch,
 			TotalSegments:  opts.MaxSegments,
+			Streams:        routedStreams,
 			Pacer:          opts.Pacer,
 		})
 		if err != nil {
@@ -248,6 +314,11 @@ func (s *Store) recover() error {
 	}
 	latest := make(map[uint32]hit)
 	var maxSeq, maxInc uint64
+	type sealedSeg struct {
+		seg int32
+		inc uint64
+	}
+	var sealed []sealedSeg
 
 	hdr := make([]byte, segHeaderSize)
 	for seg := 0; seg < s.opts.MaxSegments; seg++ {
@@ -273,7 +344,7 @@ func (s *Store) recover() error {
 			maxInc = inc
 		}
 		m := &s.meta[seg]
-		m.Stream = stream
+		m.Stream = core.ClampStream(stream, int32(core.MaxRouterStreams))
 		records := 0
 		for slot := 0; slot < s.opts.SegmentPages; slot++ {
 			if s.slotOffset(slot)+s.recordSize() > sz {
@@ -306,17 +377,39 @@ func (s *Store) recover() error {
 			continue
 		}
 		// Every recovered segment is re-sealed; fresh writes go to new
-		// segments. Live accounting is finalized below.
+		// segments. Live accounting is finalized below, and SealSeq is
+		// assigned once all headers are known. The stream comes back into
+		// the observed set so the routed free-pool reserve (and
+		// Stats().Streams) survive a restart — clamped to the ACTIVE
+		// algorithm's stream space: reopening with a narrower router must
+		// not inflate the reserve with stream ids it can never route to.
 		m.State = core.SegSealed
+		s.seen.Note(core.ClampStream(m.Stream, s.streams))
+		sealed = append(sealed, sealedSeg{seg: int32(seg), inc: inc})
+	}
+	// Re-seal in log order, not segment-id scan order: the header
+	// incarnation increases with every segment open, so ordering by it
+	// restores the age ordering that age-based cleaning and the
+	// oldest-first tie-break in scoredSelect depend on. (The free list
+	// is popped from the back, so id order is typically the REVERSE of
+	// write order — scan-order seal sequences would invert every
+	// age-based decision after a restart.)
+	sort.Slice(sealed, func(i, j int) bool { return sealed[i].inc < sealed[j].inc })
+	for _, ss := range sealed {
 		s.sealSeq++
-		m.SealSeq = s.sealSeq
+		s.meta[ss.seg].SealSeq = s.sealSeq
 	}
 	s.seq = maxSeq
 	s.incarnation = maxInc
 
 	ck, ckErr := s.readCheckpoint()
 	if ckErr == nil && ck != nil {
-		s.unow = ck.unow
+		// Writes after the checkpoint advanced the update clock past the
+		// checkpointed value; resuming at ck.unow would run the clock
+		// backwards and let up2 estimates exceed unow. maxSeq ticks at
+		// least as fast as unow (every update appends a record), so it is
+		// a safe monotone restart point.
+		s.unow = max(ck.unow, maxSeq)
 		s.prunedSeq = ck.prunedSeq
 		for seg, up2 := range ck.up2 {
 			if seg < len(s.meta) {
@@ -367,6 +460,19 @@ func (s *Store) recover() error {
 		}
 		m.Live = live
 		m.Free = m.Capacity - int64(live)*s.recordSize()
+	}
+	// Seed the routing clock from the recovered up2 estimates so the first
+	// post-restart write of each page routes by its segment's learned
+	// temperature instead of "no history" (the coldest stream): without
+	// this, every hot page's first write after a restart is packed into
+	// cold segments, paying exactly the mixing cost the router avoids.
+	// last stays 0 so the next write does not fold a bogus restart-sized
+	// interval into the estimate.
+	if s.clock != nil {
+		for page, loc := range s.table {
+			est := core.EstimatedInterval(s.meta[loc.seg].Up2, s.unow)
+			s.clock[page] = pageClock{est: core.SmoothInterval(0, uint64(est))}
+		}
 	}
 	return nil
 }
@@ -459,7 +565,7 @@ func (s *Store) userWrite(id uint32, flags uint32, data []byte) error {
 		}
 		s.mu.Lock()
 		err := s.userAppendLocked(id, flags, data)
-		lowWater := s.cl != nil && len(s.free) < s.opts.FreeLowWater
+		lowWater := s.cl != nil && len(s.free) < s.lowWaterLocked()
 		s.mu.Unlock()
 		if lowWater {
 			s.cl.Kick()
@@ -484,23 +590,63 @@ func (s *Store) userAppendLocked(id uint32, flags uint32, data []byte) error {
 			return ErrNotFound
 		}
 	}
-	if err := s.ensureOpen(0); err != nil {
+	stream, clock := s.routeUserLocked(id)
+	if err := s.ensureOpen(stream, false); err != nil {
 		return err
 	}
 	s.unow++
+	s.trigger = stream
+	if s.clock != nil {
+		if tomb {
+			delete(s.clock, id)
+		} else {
+			s.clock[id] = clock
+		}
+	}
 	carried := s.invalidate(id)
 	if tomb {
 		delete(s.table, id)
 	} else {
 		delete(s.tombstones, id) // a rewrite supersedes any pending deletion
 	}
-	if err := s.appendRecord(0, id, flags, data, carried); err != nil {
+	if err := s.appendRecord(stream, id, flags, data, carried); err != nil {
 		return err
 	}
 	if !tomb {
 		s.userWrites++
 	}
 	return nil
+}
+
+// routeUserLocked picks the append stream for a user write of page id and
+// returns the page's advanced clock (folded with this write's interval
+// observation, to be installed once the append is admitted). Without a
+// router every user write goes to stream 0.
+func (s *Store) routeUserLocked(id uint32) (int32, pageClock) {
+	r := s.alg().Router
+	if r == nil {
+		return 0, pageClock{}
+	}
+	now := s.unow + 1 // the tick this write will get
+	c := s.clock[id]
+	if c.last != 0 {
+		c.est = core.SmoothInterval(c.est, now-c.last)
+	}
+	c.last = now
+	return core.ClampStream(r.Route(uint64(c.est), -1), s.streams), c
+}
+
+// lowWaterLocked is the effective cleaning threshold. Routed placement can
+// hold one partially-filled open segment per stream the workload actually
+// uses, so the reserve grows with the observed stream count (monotone, so
+// the threshold never flaps); the classic two-stream layout keeps the
+// configured mark.
+func (s *Store) lowWaterLocked() int {
+	lw := s.opts.FreeLowWater
+	if s.alg().Router != nil {
+		lw += s.seen.Count()
+	}
+	return lw
 }
 
 // invalidate releases page id's current version, advancing its segment's
@@ -521,19 +667,30 @@ func (s *Store) invalidate(id uint32) float64 {
 }
 
 // ensureOpen guarantees stream has an open segment with at least one free
-// slot. In foreground mode, opening a user segment below the low-water mark
-// first runs cleaning synchronously; in background mode the cleaner is
-// kicked from the write path instead.
-func (s *Store) ensureOpen(stream int32) error {
+// slot. gc marks appends made by the cleaner: user appends run foreground
+// cleaning below the low-water mark (background mode kicks the cleaner from
+// the write path instead) and leave the last free segment for relocation,
+// while GC appends may consume the reserve they are defending.
+func (s *Store) ensureOpen(stream int32, gc bool) error {
 	if s.open[stream] >= 0 {
 		return nil
 	}
-	if stream == 0 && s.cl == nil && len(s.free) < s.opts.FreeLowWater {
+	if !gc && s.cl == nil && len(s.free) < s.lowWaterLocked() {
 		if err := s.clean(); err != nil {
 			return err
 		}
+		// With routed placement the cleaning we just ran may have opened
+		// (and partially filled) this very stream's segment for its own
+		// relocations; opening another would orphan it in the open state.
+		if s.open[stream] >= 0 {
+			return nil
+		}
 	}
-	seg, err := s.openSegment(stream)
+	need := 1
+	if !gc && s.cl != nil {
+		need = 2
+	}
+	seg, err := s.openSegment(stream, need)
 	if err != nil {
 		return err
 	}
@@ -545,6 +702,7 @@ func (s *Store) ensureOpen(stream int32) error {
 // exist), carrying the page's up2 estimate into the segment's seal-time
 // average.
 func (s *Store) appendRecord(stream int32, id uint32, flags uint32, payload []byte, carried float64) error {
+	s.seen.Note(stream)
 	seg := s.open[stream]
 	slot := s.fill[seg]
 	s.seq++
@@ -570,14 +728,11 @@ func (s *Store) appendRecord(stream int32, id uint32, flags uint32, payload []by
 	return nil
 }
 
-// openSegment takes a free segment and writes its header. In background
-// mode the user stream leaves the last free segment for the cleaner's GC
-// output, so relocation can always make progress.
-func (s *Store) openSegment(stream int32) (int32, error) {
-	need := 1
-	if stream == 0 && s.cl != nil {
-		need = 2
-	}
+// openSegment takes a free segment and writes its header. need is the
+// minimum free-pool size the caller may consume from: user appends in
+// background mode pass 2, leaving the last free segment for the cleaner's
+// GC output so relocation can always make progress.
+func (s *Store) openSegment(stream int32, need int) (int32, error) {
 	if len(s.free) < need {
 		return -1, ErrFull
 	}

@@ -370,10 +370,13 @@ func TestStatsAndFillFactor(t *testing.T) {
 
 func TestOptionsValidation(t *testing.T) {
 	cases := []Options{
-		{PageSize: 4},                                    // page too small
-		{CleanBatch: 10, FreeLowWater: 10},               // no relocation headroom
-		{Algorithm: core.MDCOpt()},                       // exact needs oracle
-		{Algorithm: core.MultiLog()},                     // routed unsupported
+		{PageSize: 4},                      // page too small
+		{CleanBatch: 10, FreeLowWater: 10}, // no relocation headroom
+		{Algorithm: core.MDCOpt()},         // exact needs oracle
+		{MaxSegments: 30, FreeLowWater: 8, CleanBatch: 4,
+			Algorithm: core.MultiLog()}, // routed: no room for 28 stream segments
+		{MaxSegments: 36, FreeLowWater: 6, CleanBatch: 4,
+			Algorithm: core.MultiLog()}, // routed: open-segment pins + reserve need 2x streams
 		{MaxSegments: 4, FreeLowWater: 8, CleanBatch: 2}, // capacity below reserve
 	}
 	for i, o := range cases {

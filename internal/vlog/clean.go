@@ -32,7 +32,7 @@ type vCand struct {
 func (s *Store) clean() error {
 	guard := 0
 	dry := 0
-	for len(s.free) < s.opts.FreeLowWater {
+	for len(s.free) < s.lowWater() {
 		n, net, err := s.cleanCycleLocked()
 		if err != nil {
 			return err
@@ -75,7 +75,7 @@ func (s *Store) cleanCycleLocked() (victimCount int, netBytes int64, err error) 
 // SegCleaning, and snapshots their live records. Caller holds the write
 // lock.
 func (s *Store) selectVictimsLocked(max int) ([]int32, []vCand, error) {
-	view := core.View{Now: s.unow, Segs: s.meta}
+	view := core.View{Now: s.unow, Segs: s.meta, TriggerStream: s.trigger}
 	victims := s.opts.Algorithm.Policy.Victims(view, max, nil)
 	if len(victims) == 0 {
 		return nil, nil, nil
@@ -130,10 +130,17 @@ func (s *Store) installRelocsLocked(cands []vCand) (installed int, bytes int64, 
 		_, val := s.decode(loc{seg: c.seg, off: c.off})
 		v := make([]byte, len(val))
 		copy(v, val)
-		if err := s.ensureRoom(1, int(c.size)); err != nil {
+		// Route relocations by the interval implied by the carried up2
+		// (§4.3's unow-up2 estimator): hot and cold GC output land in
+		// different segments (§5.3) instead of one monolithic GC stream.
+		stream := int32(1)
+		if r := s.opts.Algorithm.Router; r != nil {
+			stream = core.ClampStream(r.Route(uint64(core.EstimatedInterval(c.up2, s.unow)), -1), s.streams)
+		}
+		if err := s.ensureRoom(stream, int(c.size), true); err != nil {
 			return installed, bytes, err
 		}
-		s.writeRecord(1, c.key, v, c.up2)
+		s.writeRecord(stream, c.key, v, c.up2)
 		m := &s.meta[c.seg]
 		m.Live--
 		m.Free += int64(c.size)

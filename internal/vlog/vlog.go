@@ -44,8 +44,11 @@ type Options struct {
 	SegmentBytes int
 	// MaxSegments bounds total memory (default 64).
 	MaxSegments int
-	// Algorithm is the cleaning policy (default core.MDC()); exact-rate and
-	// routed variants are rejected, as in the page store.
+	// Algorithm is the cleaning policy (default core.MDC()). Routed
+	// algorithms (core.MultiLog, core.MDCRouted) spread user and GC appends
+	// across Router.Streams() per-temperature streams, driven by a per-key
+	// last-write clock; exact-rate variants are rejected, as in the page
+	// store.
 	Algorithm core.Algorithm
 	// FreeLowWater triggers cleaning below this many free segments
 	// (default CleanBatch+2).
@@ -89,8 +92,22 @@ func (o Options) withDefaults() (Options, error) {
 	if o.FreeLowWater <= o.CleanBatch {
 		return o, fmt.Errorf("vlog: FreeLowWater (%d) must exceed CleanBatch (%d)", o.FreeLowWater, o.CleanBatch)
 	}
-	if o.Algorithm.Exact || o.Algorithm.Router != nil {
-		return o, fmt.Errorf("vlog: algorithm %s is not supported (needs an oracle or routing)", o.Algorithm.Name)
+	if o.Algorithm.Exact {
+		return o, fmt.Errorf("vlog: exact-rate algorithm %s needs a workload oracle; use the estimator variant", o.Algorithm.Name)
+	}
+	if r := o.Algorithm.Router; r != nil {
+		n := int(r.Streams())
+		if n < 2 || n > core.MaxRouterStreams {
+			return o, fmt.Errorf("vlog: routed algorithm %s declares %d streams (want 2..%d)",
+				o.Algorithm.Name, n, core.MaxRouterStreams)
+		}
+		// Each stream can pin one open segment AND adds one to the
+		// effective low-water reserve (see the page store's identical
+		// check): both must fit or thin routed data wedges the store.
+		if o.MaxSegments < o.FreeLowWater+2*n+2 {
+			return o, fmt.Errorf("vlog: routed algorithm %s needs MaxSegments >= FreeLowWater(%d) + 2*streams(%d) + 2",
+				o.Algorithm.Name, o.FreeLowWater, n)
+		}
 	}
 	// FreeHighWater, FreeEmergency and Pacer defaulting/validation live in
 	// cleaner.Options.withDefaults (one copy for every engine); zero values
@@ -113,10 +130,24 @@ type openSeg struct {
 	up2Sum float64
 }
 
+// keyClock is a key's update history: the update-clock tick of its last Put
+// and the smoothed interval between successive Puts (core.SmoothInterval).
+// It exists only when a router needs the signal.
+type keyClock struct {
+	last uint64
+	est  uint32
+}
+
 // Store is an in-memory log-structured KV store. Safe for concurrent use:
 // Gets share an RLock, Puts/Deletes and cleaning installs take the write
 // lock, and the background cleaner works in small chunks so user
 // operations interleave with it.
+//
+// Close contract: after Close, EVERY operation observes the closed state —
+// writes fail with an error, Delete is a no-op, Get reports the key as
+// absent, Len reports 0, and Stats returns a zero snapshot. Reads do not
+// return stale data from a store whose backing memory is conceptually
+// released.
 type Store struct {
 	mu   sync.RWMutex
 	opts Options
@@ -128,7 +159,17 @@ type Store struct {
 	index     map[string]loc
 	free      []int32
 	freeCount atomic.Int64 // len(free), readable without the lock
-	open      [2]openSeg
+	open      []openSeg // indexed by stream
+
+	// Stream routing. Without a router there are two fixed streams (user=0,
+	// GC=1); with one, user and GC appends share Router.Streams() streams
+	// chosen by estimated update interval. clock tracks each key's last
+	// write tick and smoothed interval (the router's signal) and is nil
+	// when no router is configured.
+	streams int32
+	clock   map[string]keyClock
+	seen    core.StreamSet // streams ever appended to (free-pool reserve)
+	trigger int32          // stream of the most recent user append (View.TriggerStream)
 
 	unow    uint64
 	sealSeq uint64
@@ -149,6 +190,11 @@ func New(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	streams, routedStreams := int32(2), 0
+	if r := opts.Algorithm.Router; r != nil {
+		streams = r.Streams()
+		routedStreams = int(streams)
+	}
 	s := &Store{
 		opts:     opts,
 		segs:     make([][]byte, opts.MaxSegments),
@@ -156,7 +202,14 @@ func New(opts Options) (*Store, error) {
 		fill:     make([]int, opts.MaxSegments),
 		index:    make(map[string]loc),
 		pendingE: make(map[int32]float64),
-		open:     [2]openSeg{{id: -1}, {id: -1}},
+		streams:  streams,
+		open:     make([]openSeg, streams),
+	}
+	for i := range s.open {
+		s.open[i].id = -1
+	}
+	if opts.Algorithm.Router != nil {
+		s.clock = make(map[string]keyClock)
 	}
 	for i := range s.meta {
 		s.meta[i].Capacity = int64(opts.SegmentBytes)
@@ -173,6 +226,7 @@ func New(opts Options) (*Store, error) {
 			EmergencyFloor: opts.FreeEmergency,
 			Batch:          opts.CleanBatch,
 			TotalSegments:  opts.MaxSegments,
+			Streams:        routedStreams,
 			Pacer:          opts.Pacer,
 		})
 		if err != nil {
@@ -196,10 +250,14 @@ func (s *Store) Close() {
 
 func recSize(key string, valLen int) int { return recHeader + len(key) + valLen }
 
-// Get returns a copy of the value stored under key.
+// Get returns a copy of the value stored under key. On a closed store every
+// key reads as absent (see the Store close contract).
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false
+	}
 	l, ok := s.index[key]
 	if !ok {
 		return nil, false
@@ -235,7 +293,7 @@ func (s *Store) Put(key string, value []byte) error {
 		}
 		s.mu.Lock()
 		err := s.putLocked(key, value, size)
-		lowWater := s.cl != nil && len(s.free) < s.opts.FreeLowWater
+		lowWater := s.cl != nil && len(s.free) < s.lowWater()
 		s.mu.Unlock()
 		if lowWater {
 			s.cl.Kick()
@@ -254,16 +312,50 @@ func (s *Store) putLocked(key string, value []byte, size int) error {
 	if s.closed {
 		return errClosed
 	}
-	if err := s.ensureRoom(0, size); err != nil {
+	stream, clock := s.routeUserLocked(key)
+	if err := s.ensureRoom(stream, size, false); err != nil {
 		return err
 	}
 	s.unow++
+	s.trigger = stream
+	if s.clock != nil {
+		s.clock[key] = clock
+	}
 	carried := s.invalidate(key)
-	s.writeRecord(0, key, value, carried)
+	s.writeRecord(stream, key, value, carried)
 	s.userWrites++
 	s.userBytes += uint64(size)
 	s.liveBytes += uint64(size)
 	return nil
+}
+
+// routeUserLocked picks the append stream for a Put of key and returns the
+// key's advanced clock (folded with this write's interval observation, to
+// be installed once the append is admitted). Without a router every user
+// write goes to stream 0.
+func (s *Store) routeUserLocked(key string) (int32, keyClock) {
+	r := s.opts.Algorithm.Router
+	if r == nil {
+		return 0, keyClock{}
+	}
+	now := s.unow + 1 // the tick this write will get
+	c := s.clock[key]
+	if c.last != 0 {
+		c.est = core.SmoothInterval(c.est, now-c.last)
+	}
+	c.last = now
+	return core.ClampStream(r.Route(uint64(c.est), -1), s.streams), c
+}
+
+// lowWater is the effective cleaning threshold: routed placement can hold
+// one partially-filled open segment per stream the workload actually uses,
+// so the reserve grows with the observed stream count (monotone).
+func (s *Store) lowWater() int {
+	lw := s.opts.FreeLowWater
+	if s.opts.Algorithm.Router != nil {
+		lw += s.seen.Count()
+	}
+	return lw
 }
 
 // Delete removes key. Deleting an absent key is a no-op: the store is
@@ -278,6 +370,7 @@ func (s *Store) Delete(key string) {
 	s.unow++
 	s.invalidate(key)
 	delete(s.index, key)
+	delete(s.clock, key)
 }
 
 // invalidate releases key's current record and returns the carried up2.
@@ -299,11 +392,11 @@ func (s *Store) invalidate(key string) float64 {
 }
 
 // ensureRoom guarantees stream's open segment can take size more bytes,
-// sealing and reopening as needed. Opening a user segment below the
-// low-water mark runs foreground cleaning when no background cleaner owns
-// the lifecycle. In background mode the user stream leaves the last free
-// segment for GC output.
-func (s *Store) ensureRoom(stream int32, size int) error {
+// sealing and reopening as needed. gc marks appends made by the cleaner:
+// user appends run foreground cleaning below the low-water mark when no
+// background cleaner owns the lifecycle, and leave the last free segment
+// for GC output; GC appends may consume the reserve they are defending.
+func (s *Store) ensureRoom(stream int32, size int, gc bool) error {
 	o := &s.open[stream]
 	if o.id >= 0 && o.off+size > s.opts.SegmentBytes {
 		s.seal(stream)
@@ -311,13 +404,22 @@ func (s *Store) ensureRoom(stream int32, size int) error {
 	if o.id >= 0 {
 		return nil
 	}
-	if stream == 0 && s.cl == nil && len(s.free) < s.opts.FreeLowWater {
+	if !gc && s.cl == nil && len(s.free) < s.lowWater() {
 		if err := s.clean(); err != nil {
 			return err
 		}
+		// With routed placement the cleaning we just ran may have opened
+		// (and partially filled) this very stream's segment for its own
+		// relocations; opening another would orphan it in the open state.
+		if o.id >= 0 && o.off+size > s.opts.SegmentBytes {
+			s.seal(stream)
+		}
+		if o.id >= 0 {
+			return nil
+		}
 	}
 	need := 1
-	if stream == 0 && s.cl != nil {
+	if !gc && s.cl != nil {
 		need = 2
 	}
 	if len(s.free) < need {
@@ -343,6 +445,7 @@ func (s *Store) ensureRoom(stream int32, size int) error {
 // writeRecord appends a record into stream's open segment, which must have
 // room (see ensureRoom).
 func (s *Store) writeRecord(stream int32, key string, value []byte, carried float64) {
+	s.seen.Note(stream)
 	size := recSize(key, len(value))
 	o := &s.open[stream]
 	b := s.segs[o.id][o.off:]
@@ -378,10 +481,13 @@ func (s *Store) seal(stream int32) {
 	*o = openSeg{id: -1}
 }
 
-// Len returns the number of live keys.
+// Len returns the number of live keys, 0 on a closed store.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return 0
+	}
 	return len(s.index)
 }
 
@@ -398,15 +504,22 @@ type Stats struct {
 	WriteAmp        float64 // GC bytes per user byte
 	MeanEAtClean    float64
 	FreeSegments    int
+	// Streams counts the append streams ever written to: 2 for the classic
+	// user+GC layout, more when a routed algorithm spreads placement.
+	Streams int
 	// Background reports whether cleaning runs in a background goroutine;
 	// Cleaner is its lifecycle snapshot (zero-valued in foreground mode).
 	Background bool
 	Cleaner    cleaner.Stats
 }
 
-// Stats returns a snapshot of the store counters.
+// Stats returns a snapshot of the store counters, zero on a closed store.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Stats{}
+	}
 	st := Stats{
 		Keys:            len(s.index),
 		LiveBytes:       s.liveBytes,
@@ -417,6 +530,7 @@ func (s *Store) Stats() Stats {
 		GCBytes:         s.gcBytes,
 		SegmentsCleaned: s.cleanedSegs,
 		FreeSegments:    len(s.free),
+		Streams:         s.seen.Count(),
 	}
 	if s.userBytes > 0 {
 		st.WriteAmp = float64(s.gcBytes) / float64(s.userBytes)

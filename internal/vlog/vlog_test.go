@@ -145,8 +145,86 @@ func TestValidation(t *testing.T) {
 	if _, err := New(Options{Algorithm: core.MDCOpt()}); err == nil {
 		t.Error("exact algorithm accepted")
 	}
-	if _, err := New(Options{Algorithm: core.MultiLog()}); err == nil {
-		t.Error("routed algorithm accepted")
+	if _, err := New(Options{MaxSegments: 20, FreeLowWater: 6, CleanBatch: 4,
+		Algorithm: core.MultiLog()}); err == nil {
+		t.Error("routed algorithm accepted without room for its stream segments")
+	}
+}
+
+// TestClosedStoreReads pins the Close contract: every operation observes
+// the closed state, reads included — the write paths always failed after
+// Close, but Get/Len/Stats used to keep serving stale data.
+func TestClosedStoreReads(t *testing.T) {
+	s, err := New(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", val(1, 32)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Put("k", val(2, 32)); err == nil {
+		t.Error("Put after Close accepted")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("Get after Close returned data")
+	}
+	if n := s.Len(); n != 0 {
+		t.Errorf("Len after Close = %d, want 0", n)
+	}
+	if st := s.Stats(); st.Keys != 0 || st.UserWrites != 0 {
+		t.Errorf("Stats after Close not a zero snapshot: %+v", st)
+	}
+	s.Delete("k") // must be a no-op, not a panic
+	s.Close()     // idempotent
+}
+
+// TestRoutedAlgorithmsOnVlog runs the routed algorithms through a skewed
+// variable-size churn and verifies integrity, invariants and that placement
+// used more than the classic two streams.
+func TestRoutedAlgorithmsOnVlog(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.MultiLog(), core.MDCRouted()} {
+		t.Run(alg.Name, func(t *testing.T) {
+			opts := Options{SegmentBytes: 1 << 12, MaxSegments: 128,
+				CleanBatch: 4, FreeLowWater: 6, Algorithm: alg}
+			s, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rand.New(rand.NewPCG(37, 41))
+			const keys = 1200
+			want := map[string][]byte{}
+			for i := 0; i < 60000; i++ {
+				var k int
+				if r.Float64() < 0.9 {
+					k = r.IntN(keys / 10) // hot 10%
+				} else {
+					k = keys/10 + r.IntN(keys*9/10)
+				}
+				key := fmt.Sprintf("key-%05d", k)
+				v := val(k+i, 32+k%128)
+				if err := s.Put(key, v); err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+				want[key] = v
+			}
+			st := s.Stats()
+			if st.SegmentsCleaned == 0 || st.GCWrites == 0 {
+				t.Errorf("cleaning never relocated under %s: %+v", alg.Name, st)
+			}
+			if st.Streams <= 2 {
+				t.Errorf("routed %s used only %d streams", alg.Name, st.Streams)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			for k, w := range want {
+				v, ok := s.Get(k)
+				if !ok || !bytes.Equal(v, w) {
+					t.Fatalf("key %s lost or corrupted after routed cleaning", k)
+				}
+			}
+		})
 	}
 }
 

@@ -21,7 +21,9 @@
 //	st.Close()                    // checkpoint + durable shutdown
 //
 // Cleaning runs automatically with the MDC policy; pass a different
-// Algorithm (repro.Greedy(), repro.CostBenefit(), ...) to compare. With
+// Algorithm (repro.Greedy(), repro.CostBenefit(), ...) to compare. Routed
+// algorithms (repro.MultiLog(), repro.MDCRouted()) spread user and GC
+// writes across frequency-banded append streams on both live engines. With
 // BackgroundClean a watermark-driven goroutine (internal/cleaner) relocates
 // victims while reads and writes proceed, and writers are paced only when
 // free space nears exhaustion; without it, cleaning runs synchronously
@@ -66,6 +68,10 @@ var (
 	// MDCNoSepUser and MDCNoSepUserGC are the §6.2.1 ablations.
 	MDCNoSepUser   = core.MDCNoSepUser
 	MDCNoSepUserGC = core.MDCNoSepUserGC
+	// MDCRouted is MDC with temperature-routed placement: user and GC
+	// writes are spread across frequency-banded append streams (the §5.3
+	// separation realized as routing, which the live engines can execute).
+	MDCRouted = core.MDCRouted
 	// Age cleans the oldest segment (LFS circular buffer).
 	Age = core.Age
 	// Greedy cleans the emptiest segment.
