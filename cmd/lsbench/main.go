@@ -8,6 +8,7 @@
 //	lsbench -exp table1 -format csv
 //	lsbench -exp cleaner -scale medium      # foreground vs background cleaning tail latency
 //	lsbench -exp routing -scale medium      # routed vs single-stream placement on the live engines
+//	lsbench -exp batching -scale medium     # per-op vs batched writes with group commit
 package main
 
 import (
@@ -25,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lsbench: ")
 
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig3, fig4, fig5, fig6, cleaner, routing")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig3, fig4, fig5, fig6, cleaner, routing, batching")
 	scaleName := flag.String("scale", "medium", "geometry preset: small, medium, paper")
 	format := flag.String("format", "md", "output format: md, csv")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
@@ -68,6 +69,11 @@ func main() {
 		// Beyond the paper: routed multi-stream placement vs single-stream
 		// MDC on the live engines (the §5.3 separation as placement).
 		tables = append(tables, experiments.StreamRouting(scale, progress))
+	case "batching":
+		// Beyond the paper: per-op vs batched writes under the explicit
+		// durability contract — group-commit coalescing on the page store,
+		// lock amortization on the value log.
+		tables = append(tables, experiments.Batching(scale, progress))
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

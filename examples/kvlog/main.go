@@ -32,14 +32,21 @@ func main() {
 			log.Fatal(err)
 		}
 
-		// ~3 MiB of live sessions (fill ~0.75), sizes 64..576 bytes.
+		// ~3 MiB of live sessions (fill ~0.75), sizes 64..576 bytes,
+		// loaded through the batch API: one lock hold and one admission
+		// check per 256 sessions, and each Commit is all-or-nothing.
 		r := rand.New(rand.NewPCG(7, 7))
 		session := func(id int) string { return fmt.Sprintf("session:%06d", id) }
 		blob := make([]byte, 1024)
 		const sessions = 10000
+		b := repro.NewKVBatch()
 		for id := 0; id < sessions; id++ {
-			if err := kv.Put(session(id), blob[:64+id%512]); err != nil {
-				log.Fatal(err)
+			b.Put(session(id), blob[:64+id%512])
+			if b.Len() == 256 || id == sessions-1 {
+				if err := kv.Commit(b); err != nil {
+					log.Fatal(err)
+				}
+				b.Reset()
 			}
 		}
 		// Skewed updates: 10% of sessions take 90% of the traffic.

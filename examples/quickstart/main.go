@@ -1,6 +1,7 @@
 // Quickstart: open a durable log-structured page store with background
-// cleaning, write and read pages, watch the MDC cleaner reclaim space off
-// the write path, and recover after a restart.
+// cleaning and commit-level durability, write pages in atomic batches
+// (group commit coalesces the fsyncs), watch the MDC cleaner reclaim space
+// off the write path, and recover after a restart.
 //
 //	go run ./examples/quickstart
 package main
@@ -32,6 +33,10 @@ func main() {
 		// watermarks; writes are only paced if free space nears
 		// exhaustion. Set false to clean synchronously inside writes.
 		BackgroundClean: true,
+		// Every commit returns durable: batches pay one coalesced group
+		// fsync instead of one per page. DurSeal syncs only at segment
+		// seals; DurNone (the default) never syncs.
+		Durability: repro.DurCommit,
 	}
 	st, err := repro.OpenStore(opts)
 	if err != nil {
@@ -40,27 +45,44 @@ func main() {
 
 	// Fill to ~75% with live pages, then update a hot subset so the
 	// cleaner has work: pages are never updated in place, so every rewrite
-	// leaves a garbage version behind for the cleaner.
+	// leaves a garbage version behind for the cleaner. Updates go through
+	// the batch API: each Apply is atomic (all-or-nothing, even across a
+	// crash at DurCommit) and amortizes the lock, admission and fsync over
+	// the whole batch.
 	const livePages = 3000
 	page := make([]byte, 4096)
+	b := repro.NewStoreBatch()
 	for id := uint32(0); id < livePages; id++ {
 		fillPage(page, id, 0)
-		if err := st.WritePage(id, page); err != nil {
-			log.Fatalf("write %d: %v", id, err)
+		b.Write(id, page) // the batch copies the page; the buffer is reusable
+		if b.Len() == 128 || id == livePages-1 {
+			if err := st.Apply(b); err != nil {
+				log.Fatalf("preload batch: %v", err)
+			}
+			b.Reset()
 		}
 	}
 	r := rand.New(rand.NewPCG(1, 2))
 	for i := 1; i <= 20000; i++ {
 		id := uint32(r.IntN(livePages / 10)) // hot 10%
 		fillPage(page, id, i)
-		if err := st.WritePage(id, page); err != nil {
-			log.Fatalf("update: %v", err)
+		b.Write(id, page)
+		if b.Len() == 64 {
+			if err := st.Apply(b); err != nil {
+				log.Fatalf("update batch: %v", err)
+			}
+			b.Reset()
 		}
+	}
+	if err := st.Apply(b); err != nil {
+		log.Fatalf("final batch: %v", err)
 	}
 
 	s := st.Stats()
 	fmt.Printf("live pages       %d of %d capacity (fill %.2f)\n", s.LivePages, s.CapacityPages, s.FillFactor)
-	fmt.Printf("user writes      %d\n", s.UserWrites)
+	fmt.Printf("user writes      %d in %d batches\n", s.UserWrites, s.BatchesApplied)
+	fmt.Printf("durability       %s: %d commits served by %d group fsync rounds\n",
+		s.Durability, s.Commits, s.FsyncRounds)
 	fmt.Printf("GC relocations   %d (write amplification %.3f)\n", s.GCWrites, s.WriteAmp)
 	fmt.Printf("segments cleaned %d at mean emptiness %.3f\n", s.SegmentsCleaned, s.MeanEAtClean)
 	fmt.Printf("background clean %d cycles, %d segments reclaimed, %.1f MB relocated, writers stalled %v\n",

@@ -316,7 +316,13 @@ func (c *Cleaner) Stats() Stats {
 // pool is below the emergency floor. Engines call it on the user write
 // path before taking their own locks (so a blocked writer never holds a
 // lock the cleaner needs).
-func (c *Cleaner) Admit() error {
+func (c *Cleaner) Admit() error { return c.AdmitN(1) }
+
+// AdmitN is the batch form of Admit: one admission decision for an
+// n-record batch, so admission cost is paid once per batch instead of once
+// per record. Pacers implementing BatchPacer see n; others are consulted
+// once through Admit (the compatible default).
+func (c *Cleaner) AdmitN(n int) error {
 	var deadline time.Time
 	stalled := false
 	for {
@@ -324,7 +330,7 @@ func (c *Cleaner) Admit() error {
 		if free < c.opts.LowWater {
 			c.Kick()
 		}
-		ad := c.opts.Pacer.Admit(c.poolState(free))
+		ad := c.pace(c.poolState(free), n)
 		if ad.Delay > 0 {
 			time.Sleep(ad.Delay)
 			c.mu.Lock()
@@ -353,7 +359,7 @@ func (c *Cleaner) Admit() error {
 		// A release that landed between the pacer decision and capturing
 		// the channel must not be missed: re-consult the pacer and retry
 		// instead of waiting if it would now admit.
-		if !c.opts.Pacer.Admit(c.poolState(c.t.FreeSegments())).Block {
+		if !c.pace(c.poolState(c.t.FreeSegments()), n).Block {
 			continue
 		}
 		if !stalled {
@@ -382,6 +388,17 @@ func (c *Cleaner) Admit() error {
 			return ErrStalled
 		}
 	}
+}
+
+// pace consults the Pacer for one admission: batch-aware when the Pacer
+// implements BatchPacer and the caller is a batch, plain Admit otherwise.
+func (c *Cleaner) pace(st PoolState, n int) Admission {
+	if n > 1 {
+		if bp, ok := c.opts.Pacer.(BatchPacer); ok {
+			return bp.AdmitN(st, n)
+		}
+	}
+	return c.opts.Pacer.Admit(st)
 }
 
 func (c *Cleaner) poolState(free int) PoolState {

@@ -304,3 +304,96 @@ func TestStateString(t *testing.T) {
 		}
 	}
 }
+
+// countingPacer records how it was consulted: through the plain Admit or
+// the batch-aware AdmitN.
+type countingPacer struct {
+	mu      sync.Mutex
+	admits  int
+	admitNs []int
+}
+
+func (p *countingPacer) Admit(st PoolState) Admission {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.admits++
+	return Admission{}
+}
+
+func (p *countingPacer) AdmitN(st PoolState, n int) Admission {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.admitNs = append(p.admitNs, n)
+	return Admission{}
+}
+
+// admitOnly is a Pacer with no batch awareness.
+type admitOnly struct{ p *countingPacer }
+
+func (a admitOnly) Admit(st PoolState) Admission { return a.p.Admit(st) }
+
+func TestAdmitNConsultsBatchPacer(t *testing.T) {
+	ft := &fakeTarget{free: 100}
+	p := &countingPacer{}
+	c, err := Start(ft, Options{LowWater: 4, Batch: 2, TotalSegments: 100,
+		Pacer: p, PollInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.AdmitN(16); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	// A batch of one is a plain admission; the batch path is for n > 1.
+	if err := c.AdmitN(1); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.admitNs) != 1 || p.admitNs[0] != 16 {
+		t.Errorf("AdmitN consultations = %v, want [16]", p.admitNs)
+	}
+	if p.admits != 2 {
+		t.Errorf("Admit consultations = %d, want 2", p.admits)
+	}
+}
+
+func TestAdmitNFallsBackToAdmit(t *testing.T) {
+	ft := &fakeTarget{free: 100}
+	p := &countingPacer{}
+	c, err := Start(ft, Options{LowWater: 4, Batch: 2, TotalSegments: 100,
+		Pacer: admitOnly{p}, PollInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	// The compatible default: one Admit per batch, not one per record.
+	if err := c.AdmitN(32); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.admits != 1 || len(p.admitNs) != 0 {
+		t.Errorf("fallback consulted Admit %d times, AdmitN %v; want exactly one Admit", p.admits, p.admitNs)
+	}
+}
+
+func TestBuiltinPacersImplementBatchPacer(t *testing.T) {
+	for _, p := range []Pacer{FloorPacer{}, RampPacer{}} {
+		bp, ok := p.(BatchPacer)
+		if !ok {
+			t.Fatalf("%T does not implement BatchPacer", p)
+		}
+		st := PoolState{Free: 1, LowWater: 12, EmergencyFloor: 2}
+		if ad := bp.AdmitN(st, 64); !ad.Block {
+			t.Errorf("%T.AdmitN below the floor: %+v", p, ad)
+		}
+		st.Free = 50
+		if ad := bp.AdmitN(st, 64); ad.Block || ad.Delay != 0 {
+			t.Errorf("%T.AdmitN with a healthy pool: %+v", p, ad)
+		}
+	}
+}

@@ -29,8 +29,23 @@ type Admission struct {
 // Pacer decides how user writes are admitted while cleaning runs in the
 // background. Implementations must be safe for concurrent use; Admit is
 // called on every user write.
+//
+// A Pacer may additionally implement BatchPacer to see batch sizes; one
+// that does not is consulted exactly once per batch through Admit — the
+// compatible default, which already gives batches the amortization they
+// are after (one pacing decision for n records instead of n).
 type Pacer interface {
 	Admit(st PoolState) Admission
+}
+
+// BatchPacer is the optional batch-aware extension of Pacer: AdmitN is the
+// single admission check for an n-record batch (engines call it through
+// Cleaner.AdmitN). Admission is advisory pacing only — space for the whole
+// batch is reserved later, under the engine lock — so implementations
+// should decide how hard to lean on a large batch, not whether it fits.
+type BatchPacer interface {
+	Pacer
+	AdmitN(st PoolState, n int) Admission
 }
 
 // FloorPacer is the default admission controller: writes are admitted
@@ -43,6 +58,11 @@ type FloorPacer struct{}
 func (FloorPacer) Admit(st PoolState) Admission {
 	return Admission{Block: st.Free < st.EmergencyFloor}
 }
+
+// AdmitN implements BatchPacer: the floor decision does not depend on the
+// batch size — a batch is blocked below the emergency floor and admitted
+// whole above it.
+func (p FloorPacer) AdmitN(st PoolState, n int) Admission { return p.Admit(st) }
 
 // RampPacer throttles writes progressively as the pool drains from the
 // low watermark toward the emergency floor (a linear delay ramp up to
@@ -73,3 +93,8 @@ func (p RampPacer) Admit(st PoolState) Admission {
 	frac := float64(st.LowWater-st.Free) / float64(span)
 	return Admission{Delay: time.Duration(frac * float64(maxDelay))}
 }
+
+// AdmitN implements BatchPacer: one ramp delay for the whole batch. This is
+// the batching amortization at the admission layer — n records pay the
+// delay a single record would have paid, instead of n of them.
+func (p RampPacer) AdmitN(st PoolState, n int) Admission { return p.Admit(st) }

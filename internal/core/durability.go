@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// Durability is the write-durability policy of a live engine. The paper's
+// premise is that a log structured store amortizes "a single write I/O for a
+// number of diverse" updates; the durability policy decides when those
+// amortized I/Os are forced to storage, and therefore what a caller may
+// assume when a write returns.
+//
+// The levels, strongest last:
+//
+//   - DurNone: records are appended but never explicitly fsynced; data is
+//     only as durable as the operating system makes it. This is the fastest
+//     mode and the zero value (the historical Sync=false default).
+//   - DurSeal: every segment seal and checkpoint install is fsynced, and the
+//     cleaner syncs relocated copies before their victims are reused. A
+//     crash can lose at most the records in not-yet-sealed open segments.
+//     This is the historical Sync=true behavior.
+//   - DurCommit: every successful write or batch commit returns only after
+//     its records are durable. Concurrent committers coalesce onto a single
+//     group fsync — one goroutine flushes the dirty segments, waiters
+//     piggyback on its round — so the per-commit fsync cost is shared.
+//     Batches committed at this level are additionally crash-atomic: a
+//     torn batch (some records persisted, the commit not acknowledged)
+//     is discarded wholesale by recovery, never surfaced partially.
+//
+// Volatile engines (internal/vlog) accept a Durability for API symmetry and
+// document the contract they can honor: all levels behave identically, and
+// "durable" means "visible to every later read until Close".
+type Durability int
+
+const (
+	// DurNone never fsyncs; the zero value and historical default.
+	DurNone Durability = iota
+	// DurSeal fsyncs segment seals and checkpoints (the old Sync=true).
+	DurSeal
+	// DurCommit group-fsyncs on every commit; batches are crash-atomic.
+	DurCommit
+)
+
+func (d Durability) String() string {
+	switch d {
+	case DurNone:
+		return "none"
+	case DurSeal:
+		return "seal"
+	case DurCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("Durability(%d)", int(d))
+	}
+}
+
+// Valid reports whether d is one of the defined levels.
+func (d Durability) Valid() bool { return d >= DurNone && d <= DurCommit }
+
+// StreamStats is the occupancy snapshot of one append stream, reported by
+// the live engines through Stats().Streams: where routed placement actually
+// put the live data, and how full each stream's open segment is.
+type StreamStats struct {
+	// Live is the number of live records (pages or KV records) currently
+	// located in segments assigned to this stream.
+	Live int
+	// LiveBytes is the byte volume of those live records.
+	LiveBytes int64
+	// Segments counts the stream's non-free segments (open, sealed, or
+	// mid-clean).
+	Segments int
+	// OpenSegments counts the stream's open segments (0 or 1).
+	OpenSegments int
+	// OpenFill is the fill fraction of the stream's open segment, 0 when
+	// the stream has none.
+	OpenFill float64
+	// Written reports whether the stream has ever been appended to.
+	Written bool
+}
+
+// WrittenStreams counts the streams that have ever been appended to — the
+// scalar the Stats().Streams field used to report.
+func WrittenStreams(ss []StreamStats) int {
+	n := 0
+	for i := range ss {
+		if ss[i].Written {
+			n++
+		}
+	}
+	return n
+}

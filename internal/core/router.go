@@ -65,6 +65,11 @@ func (s *StreamSet) Note(stream int32) {
 // Count returns the number of distinct streams noted so far.
 func (s *StreamSet) Count() int { return s.count }
 
+// Has reports whether stream has been noted.
+func (s *StreamSet) Has(stream int32) bool {
+	return stream >= 0 && stream < 64 && s.mask&(uint64(1)<<uint(stream)) != 0
+}
+
 // ClampStream bounds a router's answer to the stream space [0, n).
 func ClampStream(stream, n int32) int32 {
 	if stream < 0 {

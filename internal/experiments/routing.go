@@ -84,7 +84,7 @@ func storeRoutingRun(segPages, maxSegs, ops int, alg core.Algorithm) []string {
 	}
 	st := s.Stats()
 	return []string{"page store", alg.Name, f3(st.WriteAmp), f3(st.MeanEAtClean),
-		fmt.Sprintf("%d", st.SegmentsCleaned), fmt.Sprintf("%d", st.Streams)}
+		fmt.Sprintf("%d", st.SegmentsCleaned), fmt.Sprintf("%d", core.WrittenStreams(st.Streams))}
 }
 
 func vlogRoutingRun(maxSegs, ops int, alg core.Algorithm) []string {
@@ -115,5 +115,5 @@ func vlogRoutingRun(maxSegs, ops int, alg core.Algorithm) []string {
 	}
 	st := s.Stats()
 	return []string{"value log", alg.Name, f3(st.WriteAmp), f3(st.MeanEAtClean),
-		fmt.Sprintf("%d", st.SegmentsCleaned), fmt.Sprintf("%d", st.Streams)}
+		fmt.Sprintf("%d", st.SegmentsCleaned), fmt.Sprintf("%d", core.WrittenStreams(st.Streams))}
 }

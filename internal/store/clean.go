@@ -42,10 +42,16 @@ type cleanCand struct {
 
 // clean runs foreground cleaning cycles until the free pool is back above
 // the low-water mark. Caller holds the write lock.
-func (s *Store) clean() error {
+func (s *Store) clean() error { return s.cleanUntil(s.lowWaterLocked) }
+
+// cleanUntil runs foreground cleaning cycles until the free pool reaches
+// target() — re-evaluated per cycle, since the routed reserve can grow as
+// GC output touches new streams. Batch reservation passes a higher target
+// than the low-water mark. Caller holds the write lock.
+func (s *Store) cleanUntil(target func() int) error {
 	guard := 0
 	dry := 0
-	for len(s.free) < s.lowWaterLocked() {
+	for len(s.free) < target() {
 		n, net, err := s.cleanCycleLocked()
 		if err != nil {
 			return err
@@ -63,7 +69,7 @@ func (s *Store) clean() error {
 			dry = 0
 		}
 		if guard++; guard > 4*s.opts.MaxSegments {
-			return fmt.Errorf("store: cleaning cannot reach %d free segments: %w", s.lowWaterLocked(), ErrFull)
+			return fmt.Errorf("store: cleaning cannot reach %d free segments: %w", target(), ErrFull)
 		}
 	}
 	return nil
@@ -240,7 +246,7 @@ func (s *Store) gcAppendLocked(page uint32, flags uint32, payload []byte, up2 fl
 		return err
 	}
 	seg := s.open[stream]
-	if err := s.appendRecord(stream, page, flags, payload, up2); err != nil {
+	if err := s.appendRecord(stream, page, flags, 0, payload, up2); err != nil {
 		return err
 	}
 	if s.gcDirtySegs != nil {
@@ -273,18 +279,24 @@ func (s *Store) clearGCDirtyLocked(segs []int32) {
 }
 
 // syncGCLocked is the durability point: relocated copies reach storage
-// before victims are reused.
+// before victims are reused. Under DurSeal only the segments holding GC
+// output are synced; under DurCommit the whole dirty set is flushed, so a
+// relocated copy of a batch record (which loses its batch markers) never
+// becomes durable ahead of the rest of its batch — releasing the victim
+// then cannot let recovery surface the batch partially.
 func (s *Store) syncGCLocked() error {
-	if !s.opts.Sync {
-		return nil
-	}
-	segs := s.gcDirtyListLocked()
-	for _, g := range segs {
-		if err := s.be.sync(int(g)); err != nil {
-			return err
+	switch s.opts.Durability {
+	case core.DurSeal:
+		segs := s.gcDirtyListLocked()
+		for _, g := range segs {
+			if err := s.be.sync(int(g)); err != nil {
+				return err
+			}
 		}
+		s.clearGCDirtyLocked(segs)
+	case core.DurCommit:
+		return s.syncAllDirtyLocked()
 	}
-	s.clearGCDirtyLocked(segs)
 	return nil
 }
 
@@ -390,7 +402,8 @@ func (t *cleanerTarget) Relocate(victims []int32) (int, int64, error) {
 	// segment sealed concurrently is still synced here by id — the cycle
 	// never relies on seal()'s fsync, whose error goes to the sealing
 	// writer.
-	if s.opts.Sync {
+	switch s.opts.Durability {
+	case core.DurSeal:
 		s.mu.Lock()
 		gs := s.gcDirtyListLocked()
 		s.mu.Unlock()
@@ -402,6 +415,17 @@ func (t *cleanerTarget) Relocate(victims []int32) (int, int64, error) {
 		s.mu.Lock()
 		s.clearGCDirtyLocked(gs)
 		s.mu.Unlock()
+	case core.DurCommit:
+		// Full group flush (shared with committers): relocated copies AND
+		// any in-flight batch appends reach storage before victims are
+		// released, preserving both the crash-safety ordering and
+		// whole-batch atomicity.
+		s.mu.Lock()
+		target := s.seq
+		s.mu.Unlock()
+		if err := s.waitDurable(target); err != nil {
+			return installed, moved, err
+		}
 	}
 	return installed, moved, nil
 }
@@ -512,7 +536,7 @@ func (s *Store) checkpointLocked() error {
 		f.Close()
 		return fmt.Errorf("store: writing checkpoint: %w", err)
 	}
-	if s.opts.Sync {
+	if s.opts.Durability != core.DurNone {
 		if err := f.Sync(); err != nil {
 			f.Close()
 			return fmt.Errorf("store: syncing checkpoint: %w", err)
@@ -524,7 +548,7 @@ func (s *Store) checkpointLocked() error {
 	if err := os.Rename(tmp, s.checkpointPath()); err != nil {
 		return fmt.Errorf("store: installing checkpoint: %w", err)
 	}
-	if s.opts.Sync {
+	if s.opts.Durability != core.DurNone {
 		if err := syncDir(s.opts.Dir); err != nil {
 			return fmt.Errorf("store: syncing checkpoint directory: %w", err)
 		}
@@ -609,6 +633,13 @@ func (s *Store) Close() error {
 			return err
 		}
 	}
+	if s.opts.Durability == core.DurCommit {
+		// Seals skip their per-segment fsync under DurCommit; flush the
+		// dirty set so a clean shutdown leaves everything durable.
+		if err := s.syncAllDirtyLocked(); err != nil {
+			return err
+		}
+	}
 	if err := s.checkpointLocked(); err != nil {
 		return err
 	}
@@ -630,9 +661,23 @@ type Stats struct {
 	CapacityPages   int
 	FillFactor      float64
 	UpdateClock     uint64
-	// Streams counts the append streams ever written to: 2 for the classic
-	// user+GC layout, more when a routed algorithm spreads placement.
-	Streams int
+	// Streams is the per-stream occupancy of routed placement: one entry
+	// per configured append stream (2 for the classic user+GC layout) with
+	// its live records/bytes, segment counts, and open-segment fill. Use
+	// core.WrittenStreams for the historical "streams ever written" count.
+	Streams []core.StreamStats
+	// Durability is the store's write-durability policy ("none", "seal",
+	// "commit").
+	Durability string
+	// Commits counts DurCommit waits (writes and batch Applies that waited
+	// for group durability); FsyncRounds counts the group flushes that
+	// served them and Fsyncs the per-segment fsync calls those rounds
+	// issued. FsyncRounds/Commits < 1 means committers coalesced.
+	Commits     uint64
+	FsyncRounds uint64
+	Fsyncs      uint64
+	// BatchesApplied counts successful multi-record Apply calls.
+	BatchesApplied uint64
 	// Background reports whether cleaning runs in a background goroutine;
 	// Cleaner is its lifecycle snapshot (zero-valued in foreground mode).
 	Background bool
@@ -651,7 +696,9 @@ func (s *Store) Stats() Stats {
 		SegmentsCleaned: s.cleanedSegs,
 		CapacityPages:   s.opts.MaxSegments * s.opts.SegmentPages,
 		UpdateClock:     s.unow,
-		Streams:         s.seen.Count(),
+		Streams:         s.streamStatsLocked(),
+		Durability:      s.opts.Durability.String(),
+		BatchesApplied:  s.batches,
 	}
 	// A segment mid-clean still holds sealed data until released.
 	for i := range s.meta {
@@ -669,9 +716,39 @@ func (s *Store) Stats() Stats {
 		st.FillFactor = float64(st.LivePages) / float64(st.CapacityPages)
 	}
 	s.mu.RUnlock()
+	s.gcm.mu.Lock()
+	st.Commits = s.gcm.commits
+	st.FsyncRounds = s.gcm.rounds
+	st.Fsyncs = s.gcm.syncs
+	s.gcm.mu.Unlock()
 	if s.cl != nil {
 		st.Background = true
 		st.Cleaner = s.cl.Stats()
 	}
 	return st
+}
+
+// streamStatsLocked aggregates per-stream occupancy: which streams the
+// routed placement actually filled, and how full each stream's open
+// segment is. Caller holds at least the read lock.
+func (s *Store) streamStatsLocked() []core.StreamStats {
+	ss := make([]core.StreamStats, s.streams)
+	for seg := range s.meta {
+		m := &s.meta[seg]
+		if m.State == core.SegFree {
+			continue
+		}
+		i := core.ClampStream(m.Stream, s.streams)
+		ss[i].Segments++
+		ss[i].Live += int(m.Live)
+		ss[i].LiveBytes += int64(m.Live) * s.recordSize()
+		if m.State == core.SegOpen {
+			ss[i].OpenSegments++
+			ss[i].OpenFill = float64(s.fill[seg]) / float64(s.opts.SegmentPages)
+		}
+	}
+	for i := range ss {
+		ss[i].Written = s.seen.Has(int32(i))
+	}
+	return ss
 }

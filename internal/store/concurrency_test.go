@@ -317,8 +317,8 @@ func TestConcurrentRoutedBackgroundCleaning(t *testing.T) {
 	if st.Cleaner.Cycles == 0 || st.Cleaner.SegmentsReclaimed == 0 {
 		t.Errorf("background cleaner never ran under routing: %+v", st.Cleaner)
 	}
-	if st.Streams <= 2 {
-		t.Errorf("routed store used only %d streams", st.Streams)
+	if n := core.WrittenStreams(st.Streams); n <= 2 {
+		t.Errorf("routed store used only %d streams", n)
 	}
 	if st.LivePages != keys {
 		t.Errorf("LivePages = %d, want %d", st.LivePages, keys)

@@ -6,24 +6,48 @@ import (
 	"hash/crc32"
 )
 
-// On-disk layout. Each segment file is a fixed-capacity append log:
+// On-disk layout (format v2, "LSSEG002"). Each segment file is a
+// fixed-capacity append log:
 //
-//	segment header (24 bytes):
-//	    magic "LSSEG001" (8) | incarnation (8) | stream (4) | reserved (4)
+//	segment header (32 bytes):
+//	    magic "LSSEG002" (8) | incarnation (8) | stream (4) | reserved (4) |
+//	    commit watermark (8)
 //	record (24-byte header + PageSize payload):
-//	    pageID (4) | flags (4) | seq (8) | crc (4) | reserved (4) | payload
+//	    pageID (4) | flags (4) | seq (8) | crc (4) | batchPos (4) | payload
 //
-// The crc (CRC-32C) covers pageID, flags, seq and the payload, so a torn or
-// corrupt record is detected and treated as the end of the segment during
-// recovery. seq is a global LSN: the record with the highest seq for a page
-// is its current version. A tombstone (flagTombstone) marks a deletion; its
-// payload is all zeros but still occupies a full slot, keeping every slot
-// the same size.
+// The crc (CRC-32C) covers pageID, flags, seq, batchPos and the payload, so
+// a torn or corrupt record is detected and treated as the end of the
+// segment during recovery. seq is a global LSN: the record with the highest
+// seq for a page is its current version. A tombstone (flagTombstone) marks
+// a deletion; its payload is all zeros but still occupies a full slot,
+// keeping every slot the same size.
+//
+// Batch commit markers: the records of a multi-record batch (Store.Apply)
+// carry flagBatch and their position within the batch in batchPos; the
+// final record additionally carries flagBatchLast. Batch records are
+// appended under one lock hold, so their seqs are consecutive and the
+// batch's full seq range is recoverable from any member: it starts at
+// seq-batchPos and ends at the flagBatchLast member. Recovery surfaces a
+// batch when every member is present, OR when the batch provably
+// committed even though some members have since been garbage-collected:
+// the header commit watermark is the highest seq known fully durable when
+// the segment was opened (segment reuse implies the cleaner's durability
+// point ran), the checkpoint records the seq it covered, and both are
+// snapshotted under the engine lock so neither can land mid-batch — a
+// batch starting at or below the recovered watermark is committed. A torn
+// batch (the commit was never acknowledged) is discarded wholesale, never
+// partially.
+//
+// Format v1 ("LSSEG001", 24-byte header, crc not covering batchPos) is
+// detected and refused loudly rather than silently recovered as empty.
 const (
-	segMagic      = "LSSEG001"
-	segHeaderSize = 24
+	segMagic      = "LSSEG002"
+	segMagicV1    = "LSSEG001"
+	segHeaderSize = 32
 	recHeaderSize = 24
 	flagTombstone = 1
+	flagBatch     = 2
+	flagBatchLast = 4
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -32,6 +56,9 @@ type recordHeader struct {
 	page  uint32
 	flags uint32
 	seq   uint64
+	// pos is the record's position within its batch (flagBatch records
+	// only; 0 otherwise).
+	pos uint32
 }
 
 func (s *Store) recordSize() int64 { return int64(recHeaderSize + s.opts.PageSize) }
@@ -45,14 +72,21 @@ func encodeRecord(dst []byte, h recordHeader, payload []byte) {
 	binary.LittleEndian.PutUint32(dst[0:4], h.page)
 	binary.LittleEndian.PutUint32(dst[4:8], h.flags)
 	binary.LittleEndian.PutUint64(dst[8:16], h.seq)
-	binary.LittleEndian.PutUint32(dst[20:24], 0)
+	binary.LittleEndian.PutUint32(dst[20:24], h.pos)
 	copy(dst[recHeaderSize:], payload)
 	for i := recHeaderSize + len(payload); i < len(dst); i++ {
 		dst[i] = 0
 	}
-	crc := crc32.Checksum(dst[0:16], castagnoli)
-	crc = crc32.Update(crc, castagnoli, dst[recHeaderSize:])
-	binary.LittleEndian.PutUint32(dst[16:20], crc)
+	binary.LittleEndian.PutUint32(dst[16:20], recordCRC(dst))
+}
+
+// recordCRC covers everything except the crc field itself: bytes [0,16)
+// (page, flags, seq), [20,24) (batchPos) and the payload. batchPos must be
+// covered — recovery's batch-completeness accounting trusts it.
+func recordCRC(b []byte) uint32 {
+	crc := crc32.Checksum(b[0:16], castagnoli)
+	crc = crc32.Update(crc, castagnoli, b[20:24])
+	return crc32.Update(crc, castagnoli, b[recHeaderSize:])
 }
 
 // decodeRecord parses and verifies one record buffer.
@@ -61,25 +95,30 @@ func decodeRecord(b []byte) (recordHeader, []byte, error) {
 	h.page = binary.LittleEndian.Uint32(b[0:4])
 	h.flags = binary.LittleEndian.Uint32(b[4:8])
 	h.seq = binary.LittleEndian.Uint64(b[8:16])
+	h.pos = binary.LittleEndian.Uint32(b[20:24])
 	stored := binary.LittleEndian.Uint32(b[16:20])
-	crc := crc32.Checksum(b[0:16], castagnoli)
-	crc = crc32.Update(crc, castagnoli, b[recHeaderSize:])
-	if stored != crc {
+	if crc := recordCRC(b); stored != crc {
 		return h, nil, fmt.Errorf("store: record crc mismatch (stored %08x, computed %08x)", stored, crc)
 	}
 	return h, b[recHeaderSize:], nil
 }
 
-func encodeSegHeader(dst []byte, incarnation uint64, stream int32) {
+func encodeSegHeader(dst []byte, incarnation uint64, stream int32, watermark uint64) {
 	copy(dst[0:8], segMagic)
 	binary.LittleEndian.PutUint64(dst[8:16], incarnation)
 	binary.LittleEndian.PutUint32(dst[16:20], uint32(stream))
 	binary.LittleEndian.PutUint32(dst[20:24], 0)
+	binary.LittleEndian.PutUint64(dst[24:32], watermark)
 }
 
-func decodeSegHeader(b []byte) (incarnation uint64, stream int32, ok bool) {
+func decodeSegHeader(b []byte) (incarnation uint64, stream int32, watermark uint64, ok bool) {
 	if string(b[0:8]) != segMagic {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
-	return binary.LittleEndian.Uint64(b[8:16]), int32(binary.LittleEndian.Uint32(b[16:20])), true
+	return binary.LittleEndian.Uint64(b[8:16]), int32(binary.LittleEndian.Uint32(b[16:20])),
+		binary.LittleEndian.Uint64(b[24:32]), true
 }
+
+// isLegacySegHeader recognizes the v1 format so recovery can refuse it
+// loudly instead of silently recycling data-bearing segments.
+func isLegacySegHeader(b []byte) bool { return string(b[0:8]) == segMagicV1 }

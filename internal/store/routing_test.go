@@ -55,8 +55,8 @@ func TestRoutedAlgorithmsOnStore(t *testing.T) {
 			if st.SegmentsCleaned == 0 || st.GCWrites == 0 {
 				t.Errorf("cleaning never ran under %s: %+v", alg.Name, st)
 			}
-			if st.Streams <= 2 {
-				t.Errorf("routed %s used only %d streams", alg.Name, st.Streams)
+			if n := core.WrittenStreams(st.Streams); n <= 2 {
+				t.Errorf("routed %s used only %d streams", alg.Name, n)
 			}
 			buf := make([]byte, 128)
 			for id := uint32(0); id < live; id++ {
@@ -95,8 +95,8 @@ func TestRoutedRecoveryRoundTrip(t *testing.T) {
 		}
 		want[id] = v
 	}
-	if s.Stats().Streams <= 2 {
-		t.Fatalf("routed store used only %d streams", s.Stats().Streams)
+	if n := core.WrittenStreams(s.Stats().Streams); n <= 2 {
+		t.Fatalf("routed store used only %d streams", n)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
@@ -109,7 +109,7 @@ func TestRoutedRecoveryRoundTrip(t *testing.T) {
 	defer s2.Close()
 	// The observed-stream set (and with it the routed free-pool reserve)
 	// must be rebuilt from the recovered segment headers, not relearned.
-	if got := s2.Stats().Streams; got <= 2 {
+	if got := core.WrittenStreams(s2.Stats().Streams); got <= 2 {
 		t.Errorf("recovered stream set = %d streams, want the routed layout restored", got)
 	}
 	buf := make([]byte, 128)
@@ -156,8 +156,8 @@ func TestRoutedThinDataDoesNotWedge(t *testing.T) {
 			}
 		}
 	}
-	if st := s.Stats(); st.Streams < 6 {
-		t.Errorf("interval spread only reached %d streams", st.Streams)
+	if n := core.WrittenStreams(s.Stats().Streams); n < 6 {
+		t.Errorf("interval spread only reached %d streams", n)
 	}
 }
 
@@ -187,8 +187,8 @@ func TestReopenWithNarrowerRouter(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if st := s.Stats(); st.Streams <= 4 {
-		t.Fatalf("multi-log only used %d streams; test needs a wide layout", st.Streams)
+	if n := core.WrittenStreams(s.Stats().Streams); n <= 4 {
+		t.Fatalf("multi-log only used %d streams; test needs a wide layout", n)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
@@ -200,7 +200,7 @@ func TestReopenWithNarrowerRouter(t *testing.T) {
 		t.Fatalf("narrow reopen: %v", err)
 	}
 	defer s2.Close()
-	if got := s2.Stats().Streams; got > int(core.DefaultTempBands) {
+	if got := core.WrittenStreams(s2.Stats().Streams); got > int(core.DefaultTempBands) {
 		t.Errorf("recovered stream set %d exceeds the active router's %d streams", got, core.DefaultTempBands)
 	}
 	// The store must keep absorbing writes under the narrow router.

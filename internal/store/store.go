@@ -24,8 +24,17 @@
 // core.SegCleaning, which freezes their records so the cleaner can read
 // them from storage without holding the lock.
 //
-// Durability model: records are appended with CRC-32C; with Options.Sync
-// every segment seal and checkpoint fsyncs. Recovery scans all segments,
+// Durability model: records are appended with CRC-32C; Options.Durability
+// picks the fsync policy. DurNone never syncs; DurSeal syncs every segment
+// seal and checkpoint; DurCommit makes every WritePage/DeletePage/Apply
+// return only after its records are flushed, with concurrent committers
+// coalescing onto a single group fsync, and makes multi-record batches
+// crash-atomic (recovery discards a torn batch wholesale via the commit
+// markers in the record headers). Store.Sync is the explicit flush for the
+// weaker levels. Writes arrive one at a time (WritePage) or as atomic
+// batches (NewBatch/Apply: one admission check, one lock hold, space
+// reserved for the whole batch before any old version is invalidated, so
+// ErrFull leaves nothing partially applied). Recovery scans all segments,
 // keeps the highest-sequence record per page, stops a segment at the first
 // torn or corrupt record, and applies the last checkpoint's deletion set.
 // Relocated copies reach storage before their victims are released for
@@ -79,7 +88,15 @@ type Options struct {
 	FreeLowWater int
 	// CleanBatch is the number of victims per cleaning cycle (default 8).
 	CleanBatch int
-	// Sync fsyncs segment seals and checkpoints (default false).
+	// Durability is the write-durability policy (default core.DurNone):
+	// DurNone never fsyncs, DurSeal fsyncs segment seals and checkpoints,
+	// DurCommit makes every write/Apply wait for a (coalesced) group fsync
+	// and makes batches crash-atomic. See core.Durability.
+	Durability core.Durability
+	// Sync fsyncs segment seals and checkpoints.
+	//
+	// Deprecated: Sync=true is a shim for Durability=DurSeal and is only
+	// honored when Durability is unset (DurNone).
 	Sync bool
 
 	// BackgroundClean moves cleaning off the write path into a background
@@ -119,6 +136,13 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Algorithm.Policy == nil {
 		o.Algorithm = core.MDC()
 	}
+	if !o.Durability.Valid() {
+		return o, fmt.Errorf("store: invalid durability level %d", o.Durability)
+	}
+	if o.Durability == core.DurNone && o.Sync {
+		o.Durability = core.DurSeal // deprecated shim
+	}
+	o.Sync = o.Durability >= core.DurSeal
 	if o.PageSize < 8 || o.SegmentPages < 2 || o.MaxSegments < o.FreeLowWater+2 {
 		return o, fmt.Errorf("store: invalid geometry %+v", o)
 	}
@@ -191,11 +215,22 @@ type Store struct {
 	trigger int32          // stream of the most recent user append (View.TriggerStream)
 
 	// gcDirtySegs tracks the SEGMENTS holding GC output not yet covered by
-	// a cleaning sync point (Options.Sync only). Segments, not streams: a
-	// user write can seal a shared routed segment and its seal-fsync error
-	// goes to that writer, so the cleaning cycle must re-sync the segment
-	// itself — open or sealed — before treating its relocations as durable.
+	// a cleaning sync point (DurSeal only; DurCommit flushes the full dirty
+	// set instead). Segments, not streams: a user write can seal a shared
+	// routed segment and its seal-fsync error goes to that writer, so the
+	// cleaning cycle must re-sync the segment itself — open or sealed —
+	// before treating its relocations as durable.
 	gcDirtySegs map[int32]struct{}
+
+	// dirty maps each segment with not-yet-fsynced appends to the seq of
+	// its latest append — the working set of Sync() and of DurCommit group
+	// flushes. nil when the backend is volatile (Dir == "").
+	dirty map[int32]uint64
+
+	// gcm is the group-commit state: under DurCommit concurrent committers
+	// coalesce onto a single fsync round (one goroutine flushes, waiters
+	// piggyback). It has its own lock; never acquire s.mu while holding it.
+	gcm groupCommit
 
 	unow    uint64
 	seq     uint64
@@ -206,6 +241,7 @@ type Store struct {
 	closed bool
 
 	userWrites, gcWrites uint64
+	batches              uint64 // successful multi-record Applies
 	cleanedSegs          uint64
 	sumEAtClean          float64
 	pendingE             map[int32]float64 // emptiness-at-selection of in-flight victims
@@ -259,8 +295,11 @@ func Open(opts Options) (*Store, error) {
 	if opts.Algorithm.Router != nil {
 		s.clock = make(map[uint32]pageClock)
 	}
-	if opts.Sync {
+	if opts.Durability == core.DurSeal {
 		s.gcDirtySegs = make(map[int32]struct{})
+	}
+	if opts.Dir != "" {
+		s.dirty = make(map[int32]uint64)
 	}
 	s.recBuf = make([]byte, s.recordSize())
 	s.readBufs.New = func() any {
@@ -320,6 +359,35 @@ func (s *Store) recover() error {
 	}
 	var sealed []sealedSeg
 
+	// Batched records (flagBatch) are withheld from `latest` until the scan
+	// proves their batch complete: members carry their position (record
+	// header pos) and the terminal member flagBatchLast, and the batch's
+	// seqs are consecutive (appended under one lock hold), so the group is
+	// keyed by its start seq (seq-pos) and complete iff the terminal member
+	// was seen and every position up to it is present.
+	type batchMember struct {
+		page uint32
+		loc  pageLoc
+		tomb bool
+	}
+	type batchGroup struct {
+		members []batchMember
+		lastPos int // position of the flagBatchLast member; -1 until seen
+	}
+	groups := make(map[uint64]*batchGroup)
+
+	// watermark is the highest seq proven fully durable by any recovered
+	// evidence: segment headers stamp the commit watermark at open time
+	// (a reused segment implies the cleaner's durability point ran), and
+	// the checkpoint records the seq it covered. Both are snapshotted
+	// under the engine lock, so neither can fall mid-batch. Under
+	// DurCommit the evidence is flush-backed and exact; under DurNone and
+	// DurSeal the checkpoint-derived part assumes issued writes persisted,
+	// which is the baseline those levels operate on anyway — it is what
+	// keeps a provably-committed batch visible across a plain restart
+	// after the cleaner recycled some members' segments.
+	var watermark uint64
+
 	hdr := make([]byte, segHeaderSize)
 	for seg := 0; seg < s.opts.MaxSegments; seg++ {
 		sz, err := s.be.size(seg)
@@ -333,12 +401,19 @@ func (s *Store) recover() error {
 		if err := s.be.read(seg, 0, hdr); err != nil {
 			return err
 		}
-		inc, stream, ok := decodeSegHeader(hdr)
+		inc, stream, segW, ok := decodeSegHeader(hdr)
 		if !ok {
+			if isLegacySegHeader(hdr) {
+				return fmt.Errorf("store: segment %d uses on-disk format %s; this version reads %s (batch commit markers) — migrate by draining the old store",
+					seg, segMagicV1, segMagic)
+			}
 			// Unrecognized file: treat as free space but do not destroy it
 			// until the slot is reused.
 			s.free = append(s.free, int32(seg))
 			continue
+		}
+		if segW > watermark {
+			watermark = segW
 		}
 		if inc > maxInc {
 			maxInc = inc
@@ -360,14 +435,28 @@ func (s *Store) recover() error {
 			s.slots[seg] = append(s.slots[seg], slotInfo{page: h.page, seq: h.seq, tombstone: h.flags&flagTombstone != 0})
 			records++
 			if h.seq > maxSeq {
+				// maxSeq covers every physical record, discarded batch
+				// members included: s.seq must never reuse an on-disk seq.
 				maxSeq = h.seq
+			}
+			tomb := h.flags&flagTombstone != 0
+			loc := pageLoc{seg: int32(seg), slot: int32(slot), seq: h.seq}
+			if h.flags&flagBatch != 0 {
+				start := h.seq - uint64(h.pos)
+				g := groups[start]
+				if g == nil {
+					g = &batchGroup{lastPos: -1}
+					groups[start] = g
+				}
+				g.members = append(g.members, batchMember{page: h.page, loc: loc, tomb: tomb})
+				if h.flags&flagBatchLast != 0 {
+					g.lastPos = int(h.pos)
+				}
+				continue
 			}
 			prev, seen := latest[h.page]
 			if !seen || h.seq > prev.loc.seq {
-				latest[h.page] = hit{
-					loc:  pageLoc{seg: int32(seg), slot: int32(slot), seq: h.seq},
-					tomb: h.flags&flagTombstone != 0,
-				}
+				latest[h.page] = hit{loc: loc, tomb: tomb}
 			}
 		}
 		s.fill[seg] = records
@@ -403,6 +492,33 @@ func (s *Store) recover() error {
 	s.incarnation = maxInc
 
 	ck, ckErr := s.readCheckpoint()
+	if ckErr == nil && ck != nil && ck.prunedSeq > watermark {
+		// The checkpoint covered everything up to prunedSeq, so any batch
+		// at or below it was complete on disk when it was taken.
+		watermark = ck.prunedSeq
+	}
+
+	// Whole-batch crash atomicity: surface a batch when every member
+	// survived, or when it provably committed (its start is at or below
+	// the recovered commit watermark — members missing then are garbage
+	// the cleaner reclaimed, not a torn write). Otherwise the batch is
+	// discarded wholesale, so each touched page falls back to its prior
+	// version — still in the log, because cleaning under DurCommit flushes
+	// the batch durable before any superseded copy's segment is reused.
+	// Discarded members stay in s.slots as garbage for the cleaner.
+	for start, g := range groups {
+		complete := g.lastPos >= 0 && len(g.members) == g.lastPos+1
+		if !complete && start > watermark {
+			continue // torn batch: no member becomes visible
+		}
+		for _, m := range g.members {
+			prev, seen := latest[m.page]
+			if !seen || m.loc.seq > prev.loc.seq {
+				latest[m.page] = hit{loc: m.loc, tomb: m.tomb}
+			}
+		}
+	}
+
 	if ckErr == nil && ck != nil {
 		// Writes after the checkpoint advanced the update clock past the
 		// checkpointed value; resuming at ck.unow would run the clock
@@ -565,6 +681,7 @@ func (s *Store) userWrite(id uint32, flags uint32, data []byte) error {
 		}
 		s.mu.Lock()
 		err := s.userAppendLocked(id, flags, data)
+		seq := s.seq
 		lowWater := s.cl != nil && len(s.free) < s.lowWaterLocked()
 		s.mu.Unlock()
 		if lowWater {
@@ -572,6 +689,11 @@ func (s *Store) userWrite(id uint32, flags uint32, data []byte) error {
 		}
 		if errors.Is(err, ErrFull) && s.cl != nil && attempt < 4 {
 			continue
+		}
+		if err == nil && s.opts.Durability == core.DurCommit {
+			// The write is visible; now make it durable. Concurrent
+			// committers coalesce onto one group fsync.
+			return s.commitWait(seq)
 		}
 		return err
 	}
@@ -609,7 +731,7 @@ func (s *Store) userAppendLocked(id uint32, flags uint32, data []byte) error {
 	} else {
 		delete(s.tombstones, id) // a rewrite supersedes any pending deletion
 	}
-	if err := s.appendRecord(stream, id, flags, data, carried); err != nil {
+	if err := s.appendRecord(stream, id, flags, 0, data, carried); err != nil {
 		return err
 	}
 	if !tomb {
@@ -700,15 +822,18 @@ func (s *Store) ensureOpen(stream int32, gc bool) error {
 
 // appendRecord writes one record to stream's open segment (which must
 // exist), carrying the page's up2 estimate into the segment's seal-time
-// average.
-func (s *Store) appendRecord(stream int32, id uint32, flags uint32, payload []byte, carried float64) error {
+// average. pos is the record's batch position (flagBatch records only).
+func (s *Store) appendRecord(stream int32, id uint32, flags uint32, pos uint32, payload []byte, carried float64) error {
 	s.seen.Note(stream)
 	seg := s.open[stream]
 	slot := s.fill[seg]
 	s.seq++
-	encodeRecord(s.recBuf, recordHeader{page: id, flags: flags, seq: s.seq}, payload)
+	encodeRecord(s.recBuf, recordHeader{page: id, flags: flags, seq: s.seq, pos: pos}, payload)
 	if err := s.be.write(int(seg), s.slotOffset(slot), s.recBuf); err != nil {
 		return err
+	}
+	if s.dirty != nil {
+		s.dirty[seg] = s.seq
 	}
 	s.slots[seg] = append(s.slots[seg], slotInfo{page: id, seq: s.seq, tombstone: flags&flagTombstone != 0})
 	s.fill[seg]++
@@ -744,9 +869,15 @@ func (s *Store) openSegment(stream int32, need int) (int32, error) {
 	}
 	s.incarnation++
 	hdr := make([]byte, segHeaderSize)
-	encodeSegHeader(hdr, s.incarnation, stream)
+	// The header carries the current commit watermark: recovery uses it to
+	// tell a provably-committed batch (some members garbage-collected,
+	// their segments since reused) from a torn one.
+	encodeSegHeader(hdr, s.incarnation, stream, s.commitWatermarkLocked())
 	if err := s.be.write(int(seg), 0, hdr); err != nil {
 		return -1, err
+	}
+	if s.dirty != nil {
+		s.dirty[seg] = s.seq // the header itself needs flushing
 	}
 	m := &s.meta[seg]
 	*m = core.SegmentMeta{
@@ -780,8 +911,13 @@ func (s *Store) seal(stream int32) error {
 	}
 	s.open[stream] = -1
 	s.up2Sum[stream] = 0
-	if s.opts.Sync {
-		return s.be.sync(int(seg))
+	if s.opts.Durability == core.DurSeal {
+		// DurCommit skips the seal-time fsync: the group flush at commit
+		// time covers the sealed segment (it stays in the dirty set).
+		if err := s.be.sync(int(seg)); err != nil {
+			return err
+		}
+		delete(s.dirty, seg)
 	}
 	return nil
 }

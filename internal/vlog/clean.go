@@ -29,10 +29,16 @@ type vCand struct {
 
 // clean runs foreground cleaning cycles until the free pool is back above
 // the low-water mark. Caller holds the write lock.
-func (s *Store) clean() error {
+func (s *Store) clean() error { return s.cleanUntil(s.lowWater) }
+
+// cleanUntil runs foreground cleaning cycles until the free pool reaches
+// target() — re-evaluated per cycle, since the routed reserve can grow as
+// GC output touches new streams. Batch reservation passes a higher target
+// than the low-water mark. Caller holds the write lock.
+func (s *Store) cleanUntil(target func() int) error {
 	guard := 0
 	dry := 0
-	for len(s.free) < s.lowWater() {
+	for len(s.free) < target() {
 		n, net, err := s.cleanCycleLocked()
 		if err != nil {
 			return err

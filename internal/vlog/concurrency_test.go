@@ -274,8 +274,8 @@ func TestConcurrentRoutedBackgroundVlog(t *testing.T) {
 	if st.Cleaner.Cycles == 0 || st.Cleaner.SegmentsReclaimed == 0 {
 		t.Errorf("background cleaner never ran under routing: %+v", st.Cleaner)
 	}
-	if st.Streams <= 2 {
-		t.Errorf("routed vlog used only %d streams", st.Streams)
+	if n := core.WrittenStreams(st.Streams); n <= 2 {
+		t.Errorf("routed vlog used only %d streams", n)
 	}
 	if err := s.CheckInvariants(); err != nil {
 		t.Fatal(err)

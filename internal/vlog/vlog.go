@@ -55,6 +55,13 @@ type Options struct {
 	FreeLowWater int
 	// CleanBatch is the victim count per cycle (default 4).
 	CleanBatch int
+	// Durability is accepted for API symmetry with the page store and
+	// documents the contract a volatile engine can honor: the store lives
+	// in memory, so every level behaves identically — a returned Put or
+	// Commit is "durable" in the sense that it is visible to every later
+	// Get until Close. Batch atomicity (all-or-nothing Commit) holds at
+	// every level.
+	Durability core.Durability
 
 	// BackgroundClean moves cleaning off the write path into a background
 	// goroutine driven by the free-pool watermarks (see internal/cleaner).
@@ -85,6 +92,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Algorithm.Policy == nil {
 		o.Algorithm = core.MDC()
+	}
+	if !o.Durability.Valid() {
+		return o, fmt.Errorf("vlog: invalid durability level %d", o.Durability)
 	}
 	if o.SegmentBytes < 64 || o.MaxSegments < o.FreeLowWater+2 {
 		return o, fmt.Errorf("vlog: invalid geometry %+v", o)
@@ -144,9 +154,9 @@ type keyClock struct {
 // operations interleave with it.
 //
 // Close contract: after Close, EVERY operation observes the closed state —
-// writes fail with an error, Delete is a no-op, Get reports the key as
-// absent, Len reports 0, and Stats returns a zero snapshot. Reads do not
-// return stale data from a store whose backing memory is conceptually
+// mutators (Put, Delete, Commit) fail with an error, Get reports the key
+// as absent, Len reports 0, and Stats returns a zero snapshot. Reads do
+// not return stale data from a store whose backing memory is conceptually
 // released.
 type Store struct {
 	mu   sync.RWMutex
@@ -177,6 +187,7 @@ type Store struct {
 
 	userWrites, gcWrites          uint64
 	userBytes, gcBytes, liveBytes uint64
+	commits                       uint64 // successful multi-record Commits
 	cleanedSegs                   uint64
 	sumEAtClean                   float64
 	pendingE                      map[int32]float64 // emptiness-at-selection of in-flight victims
@@ -238,14 +249,18 @@ func New(opts Options) (*Store, error) {
 }
 
 // Close stops the background cleaner (if any). The store itself is
-// volatile, so there is nothing to persist; further operations fail.
-func (s *Store) Close() {
+// volatile, so there is nothing to persist; further operations observe the
+// closed state (see the Store close contract). Close is idempotent and
+// always returns nil — the error return exists so callers can treat every
+// engine mutator uniformly.
+func (s *Store) Close() error {
 	if s.cl != nil {
 		s.cl.Stop()
 	}
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	return nil
 }
 
 func recSize(key string, valLen int) int { return recHeader + len(key) + valLen }
@@ -359,18 +374,20 @@ func (s *Store) lowWater() int {
 }
 
 // Delete removes key. Deleting an absent key is a no-op: the store is
-// volatile, so no tombstone is needed. Deleting on a closed store is also
-// a no-op.
-func (s *Store) Delete(key string) {
+// volatile, so no tombstone is needed. Deleting on a closed store returns
+// an error, so misuse after Close is observable instead of silently doing
+// nothing.
+func (s *Store) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return
+		return errClosed
 	}
 	s.unow++
 	s.invalidate(key)
 	delete(s.index, key)
 	delete(s.clock, key)
+	return nil
 }
 
 // invalidate releases key's current record and returns the carried up2.
@@ -422,6 +439,13 @@ func (s *Store) ensureRoom(stream int32, size int, gc bool) error {
 	if !gc && s.cl != nil {
 		need = 2
 	}
+	return s.openSegFor(stream, need)
+}
+
+// openSegFor takes a free segment and opens it for stream. need is the
+// minimum pool size the caller may consume from (user appends in
+// background mode pass 2, leaving the last free segment for GC output).
+func (s *Store) openSegFor(stream int32, need int) error {
 	if len(s.free) < need {
 		return ErrFull
 	}
@@ -438,7 +462,7 @@ func (s *Store) ensureRoom(stream int32, size int, gc bool) error {
 		State:    core.SegOpen,
 	}
 	s.fill[id] = 0
-	*o = openSeg{id: id}
+	s.open[stream] = openSeg{id: id}
 	return nil
 }
 
@@ -504,9 +528,16 @@ type Stats struct {
 	WriteAmp        float64 // GC bytes per user byte
 	MeanEAtClean    float64
 	FreeSegments    int
-	// Streams counts the append streams ever written to: 2 for the classic
-	// user+GC layout, more when a routed algorithm spreads placement.
-	Streams int
+	// Streams is the per-stream occupancy of routed placement: one entry
+	// per configured append stream (2 for the classic user+GC layout) with
+	// its live records/bytes, segment counts, and open-segment fill. Use
+	// core.WrittenStreams for the historical "streams ever written" count.
+	Streams []core.StreamStats
+	// Durability echoes the configured policy (always honored trivially:
+	// the store is volatile).
+	Durability string
+	// Commits counts successful multi-record batch Commits.
+	Commits uint64
 	// Background reports whether cleaning runs in a background goroutine;
 	// Cleaner is its lifecycle snapshot (zero-valued in foreground mode).
 	Background bool
@@ -530,7 +561,9 @@ func (s *Store) Stats() Stats {
 		GCBytes:         s.gcBytes,
 		SegmentsCleaned: s.cleanedSegs,
 		FreeSegments:    len(s.free),
-		Streams:         s.seen.Count(),
+		Streams:         s.streamStatsLocked(),
+		Durability:      s.opts.Durability.String(),
+		Commits:         s.commits,
 	}
 	if s.userBytes > 0 {
 		st.WriteAmp = float64(s.gcBytes) / float64(s.userBytes)
@@ -544,6 +577,31 @@ func (s *Store) Stats() Stats {
 		st.Cleaner = s.cl.Stats()
 	}
 	return st
+}
+
+// streamStatsLocked aggregates per-stream occupancy: which streams the
+// routed placement actually filled, and how full each stream's open
+// segment is. Caller holds at least the read lock.
+func (s *Store) streamStatsLocked() []core.StreamStats {
+	ss := make([]core.StreamStats, s.streams)
+	for seg := range s.meta {
+		m := &s.meta[seg]
+		if m.State == core.SegFree {
+			continue
+		}
+		i := core.ClampStream(m.Stream, s.streams)
+		ss[i].Segments++
+		ss[i].Live += int(m.Live)
+		ss[i].LiveBytes += m.Capacity - m.Free
+		if m.State == core.SegOpen {
+			ss[i].OpenSegments++
+			ss[i].OpenFill = float64(s.fill[seg]) / float64(s.opts.SegmentBytes)
+		}
+	}
+	for i := range ss {
+		ss[i].Written = s.seen.Has(int32(i))
+	}
+	return ss
 }
 
 // CheckInvariants validates internal consistency (tests):

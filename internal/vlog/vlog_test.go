@@ -212,8 +212,8 @@ func TestRoutedAlgorithmsOnVlog(t *testing.T) {
 			if st.SegmentsCleaned == 0 || st.GCWrites == 0 {
 				t.Errorf("cleaning never relocated under %s: %+v", alg.Name, st)
 			}
-			if st.Streams <= 2 {
-				t.Errorf("routed %s used only %d streams", alg.Name, st.Streams)
+			if n := core.WrittenStreams(st.Streams); n <= 2 {
+				t.Errorf("routed %s used only %d streams", alg.Name, n)
 			}
 			if err := s.CheckInvariants(); err != nil {
 				t.Fatal(err)

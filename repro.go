@@ -13,21 +13,45 @@
 //
 //	st, err := repro.OpenStore(repro.StoreOptions{
 //		Dir:             "/data/pages",
-//		BackgroundClean: true, // reclaim space off the write path
+//		BackgroundClean: true,             // reclaim space off the write path
+//		Durability:      repro.DurCommit,  // group-fsync on every commit
 //	})
 //	...
 //	st.WritePage(42, page)        // log-structured, never in place
 //	st.ReadPage(42, buf)          // CRC-verified
+//
+//	b := repro.NewStoreBatch().Write(1, p1).Write(2, p2).Delete(9)
+//	st.Apply(b)                   // atomic: one lock, one group fsync
 //	st.Close()                    // checkpoint + durable shutdown
+//
+// # Batches and durability
+//
+// Both engines take writes one at a time or as atomic batches — the
+// paper's premise that a log amortizes "a single write I/O for a number of
+// diverse" updates, surfaced as API. A batch (NewStoreBatch/NewKVBatch) is
+// applied under one admission check and one lock hold, with space for
+// every record reserved before any old version is invalidated: on ErrFull
+// nothing is applied, never a prefix.
+//
+// Durability is an explicit policy (StoreOptions.Durability): DurNone
+// never fsyncs, DurSeal fsyncs segment seals and checkpoints (the old
+// Sync=true, which remains as a deprecated shim), and DurCommit makes
+// every write or Apply return only after its records are durable —
+// concurrent committers coalesce onto a single group fsync, and a torn
+// DurCommit batch is discarded wholesale by recovery, never surfaced
+// partially. Store.Sync() is the explicit flush for the weaker levels.
+// The in-memory KV engine accepts the same policy for symmetry and
+// documents the volatile contract it can honor.
 //
 // Cleaning runs automatically with the MDC policy; pass a different
 // Algorithm (repro.Greedy(), repro.CostBenefit(), ...) to compare. Routed
 // algorithms (repro.MultiLog(), repro.MDCRouted()) spread user and GC
-// writes across frequency-banded append streams on both live engines. With
-// BackgroundClean a watermark-driven goroutine (internal/cleaner) relocates
-// victims while reads and writes proceed, and writers are paced only when
-// free space nears exhaustion; without it, cleaning runs synchronously
-// inside the write path. Stats().Cleaner reports the background lifecycle.
+// writes across frequency-banded append streams on both live engines, and
+// Stats().Streams reports the per-stream occupancy. With BackgroundClean a
+// watermark-driven goroutine (internal/cleaner) relocates victims while
+// reads and writes proceed, and writers are paced only when free space
+// nears exhaustion; without it, cleaning runs synchronously inside the
+// write path. Stats().Cleaner reports the background lifecycle.
 //
 // # Reproducing the paper
 //
@@ -146,8 +170,10 @@ type (
 	Store = store.Store
 	// StoreOptions configures Open.
 	StoreOptions = store.Options
-	// StoreStats reports occupancy and cleaning efficiency.
+	// StoreStats reports occupancy, durability and cleaning efficiency.
 	StoreStats = store.Stats
+	// StoreBatch collects page writes/deletes for one atomic Store.Apply.
+	StoreBatch = store.Batch
 )
 
 // Store errors.
@@ -158,6 +184,34 @@ var (
 
 // OpenStore creates or recovers a durable page store.
 func OpenStore(opts StoreOptions) (*Store, error) { return store.Open(opts) }
+
+// NewStoreBatch returns an empty page-store batch:
+// NewStoreBatch().Write(id, data).Delete(id) → Store.Apply.
+func NewStoreBatch() *StoreBatch { return store.NewBatch() }
+
+// Durability is the explicit write-durability policy of the engines
+// (StoreOptions.Durability / KVOptions.Durability); it replaces the old
+// Sync bool, which survives as a deprecated shim for DurSeal.
+type Durability = core.Durability
+
+// Durability levels, weakest first.
+const (
+	// DurNone never fsyncs (the default; the old Sync=false).
+	DurNone = core.DurNone
+	// DurSeal fsyncs segment seals and checkpoints (the old Sync=true).
+	DurSeal = core.DurSeal
+	// DurCommit group-fsyncs on every commit — concurrent committers
+	// coalesce onto one fsync — and makes batches crash-atomic.
+	DurCommit = core.DurCommit
+)
+
+// StreamStats is the per-stream occupancy snapshot in Stats().Streams on
+// both engines; WrittenStreams counts the streams ever appended to.
+type StreamStats = core.StreamStats
+
+// WrittenStreams counts the streams of a Stats().Streams snapshot that
+// were ever appended to.
+func WrittenStreams(ss []StreamStats) int { return core.WrittenStreams(ss) }
 
 // Background cleaning (StoreOptions.BackgroundClean / KVOptions.
 // BackgroundClean): the shared watermark-driven reclamation engine.
@@ -190,10 +244,16 @@ type (
 	KVOptions = vlog.Options
 	// KVStats reports byte-level write amplification.
 	KVStats = vlog.Stats
+	// KVBatch collects Puts/Deletes for one atomic KV.Commit.
+	KVBatch = vlog.Batch
 )
 
 // NewKV creates an in-memory value-log store.
 func NewKV(opts KVOptions) (*KV, error) { return vlog.New(opts) }
+
+// NewKVBatch returns an empty value-log batch:
+// NewKVBatch().Put(k, v).Delete(k) → KV.Commit.
+func NewKVBatch() *KVBatch { return vlog.NewBatch() }
 
 // Experiment harness: regenerates the paper's tables and figures.
 type (

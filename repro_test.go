@@ -56,7 +56,8 @@ func TestFacadeAlgorithms(t *testing.T) {
 
 func TestFacadeStore(t *testing.T) {
 	dir := t.TempDir()
-	st, err := OpenStore(StoreOptions{Dir: dir, PageSize: 256, SegmentPages: 16, MaxSegments: 32})
+	st, err := OpenStore(StoreOptions{Dir: dir, PageSize: 256, SegmentPages: 16, MaxSegments: 32,
+		Durability: DurCommit})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,12 +68,29 @@ func TestFacadeStore(t *testing.T) {
 	if err := st.WritePage(1, pg); err != nil {
 		t.Fatal(err)
 	}
+	// The batched write path with group commit, through the facade.
+	if err := st.Apply(NewStoreBatch().Write(2, pg).Write(3, pg).Delete(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	got := make([]byte, 256)
 	if err := st.ReadPage(1, got); err != nil {
 		t.Fatal(err)
 	}
+	if err := st.ReadPage(2, got); err != nil {
+		t.Fatal(err)
+	}
 	if err := st.ReadPage(99, got); err != ErrNotFound {
 		t.Errorf("missing page error = %v", err)
+	}
+	s := st.Stats()
+	if s.Durability != "commit" || s.Commits == 0 {
+		t.Errorf("durability stats not surfaced: %+v", s)
+	}
+	if len(s.Streams) == 0 || WrittenStreams(s.Streams) == 0 {
+		t.Errorf("stream occupancy not surfaced: %+v", s.Streams)
 	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
@@ -83,16 +101,28 @@ func TestFacadeStore(t *testing.T) {
 }
 
 func TestFacadeKV(t *testing.T) {
-	kv, err := NewKV(KVOptions{SegmentBytes: 4096, MaxSegments: 32})
+	kv, err := NewKV(KVOptions{SegmentBytes: 4096, MaxSegments: 32, Durability: DurCommit})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := kv.Put("k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	v, ok := kv.Get("k")
-	if !ok || string(v) != "v" {
+	if err := kv.Commit(NewKVBatch().Put("k2", []byte("v2")).Delete("k")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := kv.Get("k2")
+	if !ok || string(v) != "v2" {
 		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := kv.Get("k"); ok {
+		t.Error("batched delete did not apply")
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Delete("k2"); err == nil {
+		t.Error("Delete after Close returned nil; use-after-Close must be observable")
 	}
 }
 
