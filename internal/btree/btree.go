@@ -13,11 +13,22 @@
 // of a database share one page id space.
 package btree
 
-import (
-	"fmt"
+import "fmt"
 
-	"repro/internal/bufferpool"
-)
+// Pager is the page-cache surface the tree drives: residency/replacement
+// tracking (Touch/Dirty) and page id allocation shared by all trees of a
+// database. *bufferpool.Pool implements it; internal/pagedb wraps one with
+// store-backed faulting and write-back.
+type Pager interface {
+	// Allocate returns a fresh page id, resident and dirty.
+	Allocate() uint32
+	// FreePage returns a page id to the allocator; no final write happens.
+	FreePage(id uint32)
+	// Touch records a read access to a page.
+	Touch(id uint32)
+	// Dirty records a write access to a page.
+	Dirty(id uint32)
+}
 
 // nodeHeaderBytes models the per-page header of a disk layout (LSN, page
 // type, counts, sibling pointer).
@@ -33,7 +44,7 @@ const innerEntryBytes = 12
 
 // Tree is a B+-tree keyed by uint64 with opaque []byte values.
 type Tree struct {
-	pool     *bufferpool.Pool
+	pool     Pager
 	pageSize int
 	root     *node
 	height   int
@@ -53,7 +64,7 @@ type node struct {
 
 // New creates an empty tree whose pages live in pool and are budgeted at
 // pageSize bytes.
-func New(pool *bufferpool.Pool, pageSize int) *Tree {
+func New(pool Pager, pageSize int) *Tree {
 	if pageSize < 256 {
 		panic(fmt.Sprintf("btree: page size %d too small", pageSize))
 	}

@@ -2,6 +2,96 @@ package btree
 
 import "fmt"
 
+// CheckPageTree validates the same structural invariants as CheckInvariants
+// for a PAGE-ID based tree (a durable tree whose nodes are NodePage images,
+// e.g. internal/pagedb): sorted and bounded keys, uniform leaf depth equal
+// to height, page images within pageSize, a leaf chain (Next links from the
+// leftmost leaf) that visits exactly the leaves left to right, and a total
+// entry count of count. fetch materializes one node by page id.
+func CheckPageTree(fetch func(id uint32) (*NodePage, error), root uint32, height, count, pageSize int) error {
+	leaves := make([]uint32, 0, 64)
+	entries := 0
+	visited := make(map[uint32]bool)
+	var walk func(id uint32, depth int, lo, hi uint64, hasLo, hasHi bool) error
+	walk = func(id uint32, depth int, lo, hi uint64, hasLo, hasHi bool) error {
+		if visited[id] {
+			return fmt.Errorf("page %d reachable twice (cycle or shared child)", id)
+		}
+		visited[id] = true
+		n, err := fetch(id)
+		if err != nil {
+			return fmt.Errorf("fetching page %d: %w", id, err)
+		}
+		for i, k := range n.Keys {
+			if i > 0 && n.Keys[i-1] >= k {
+				return fmt.Errorf("page %d: keys out of order at %d", id, i)
+			}
+			if hasLo && k < lo {
+				return fmt.Errorf("page %d: key %d below subtree bound %d", id, k, lo)
+			}
+			if hasHi && k >= hi {
+				return fmt.Errorf("page %d: key %d above subtree bound %d", id, k, hi)
+			}
+		}
+		if sz := n.EncodedBytes(); sz > pageSize {
+			return fmt.Errorf("page %d: image of %d bytes exceeds page size %d", id, sz, pageSize)
+		}
+		if n.Leaf {
+			if depth != height {
+				return fmt.Errorf("leaf %d at depth %d, height is %d", id, depth, height)
+			}
+			if len(n.Vals) != len(n.Keys) {
+				return fmt.Errorf("leaf %d: %d keys but %d values", id, len(n.Keys), len(n.Vals))
+			}
+			leaves = append(leaves, id)
+			entries += len(n.Keys)
+			return nil
+		}
+		if len(n.Kids) != len(n.Keys)+1 {
+			return fmt.Errorf("branch %d: %d kids for %d keys", id, len(n.Kids), len(n.Keys))
+		}
+		for i, kid := range n.Kids {
+			clo, chasLo := lo, hasLo
+			chi, chasHi := hi, hasHi
+			if i > 0 {
+				clo, chasLo = n.Keys[i-1], true
+			}
+			if i < len(n.Keys) {
+				chi, chasHi = n.Keys[i], true
+			}
+			if err := walk(kid, depth+1, clo, chi, chasLo, chasHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, 1, 0, 0, false, false); err != nil {
+		return err
+	}
+	if entries != count {
+		return fmt.Errorf("tree claims %d entries but traversal found %d", count, entries)
+	}
+	// The leaf chain agrees with the traversal order and terminates.
+	id := leaves[0]
+	for i, want := range leaves {
+		if id == 0 {
+			return fmt.Errorf("leaf chain ends after %d of %d leaves", i, len(leaves))
+		}
+		if id != want {
+			return fmt.Errorf("leaf chain diverges at position %d (page %d != %d)", i, id, want)
+		}
+		n, err := fetch(id)
+		if err != nil {
+			return fmt.Errorf("fetching chain leaf %d: %w", id, err)
+		}
+		id = n.Next
+	}
+	if id != 0 {
+		return fmt.Errorf("leaf chain longer than traversal (extra page %d)", id)
+	}
+	return nil
+}
+
 // CheckInvariants validates the structural invariants of the tree and
 // returns the first violation:
 //

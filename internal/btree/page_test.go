@@ -1,0 +1,139 @@
+package btree
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNodePageRoundTrip(t *testing.T) {
+	page := make([]byte, 256)
+	leaf := &NodePage{
+		Leaf: true,
+		Next: 42,
+		Keys: []uint64{1, 5, 9},
+		Vals: [][]byte{[]byte("a"), {}, []byte("ccc")},
+	}
+	if err := EncodePage(page, leaf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Leaf || got.Next != 42 || len(got.Keys) != 3 {
+		t.Fatalf("leaf round trip: %+v", got)
+	}
+	for i := range leaf.Keys {
+		if got.Keys[i] != leaf.Keys[i] || !bytes.Equal(got.Vals[i], leaf.Vals[i]) {
+			t.Fatalf("leaf entry %d: %d/%q", i, got.Keys[i], got.Vals[i])
+		}
+	}
+	// Decoded values are copies: mutating the page must not change them.
+	v := got.Vals[2]
+	for i := range page {
+		page[i] = 0xEE
+	}
+	if !bytes.Equal(v, []byte("ccc")) {
+		t.Error("decoded value aliases the page buffer")
+	}
+
+	branch := &NodePage{
+		Keys: []uint64{10, 20},
+		Kids: []uint32{3, 7, 11},
+	}
+	if err := EncodePage(page, branch); err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodePage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Leaf || len(got.Keys) != 2 || len(got.Kids) != 3 || got.Kids[1] != 7 {
+		t.Fatalf("branch round trip: %+v", got)
+	}
+	if got.EncodedBytes() != branch.EncodedBytes() {
+		t.Errorf("EncodedBytes drifted: %d vs %d", got.EncodedBytes(), branch.EncodedBytes())
+	}
+}
+
+func TestEncodePageRejectsMalformed(t *testing.T) {
+	page := make([]byte, 64)
+	// Oversized.
+	if err := EncodePage(page, &NodePage{Leaf: true, Keys: []uint64{1}, Vals: [][]byte{make([]byte, 100)}}); err == nil {
+		t.Error("oversized leaf encoded")
+	}
+	// Mismatched entry counts.
+	if err := EncodePage(page, &NodePage{Leaf: true, Keys: []uint64{1, 2}, Vals: [][]byte{nil}}); err == nil {
+		t.Error("leaf with missing value encoded")
+	}
+	if err := EncodePage(page, &NodePage{Keys: []uint64{1}, Kids: []uint32{2}}); err == nil {
+		t.Error("branch with too few children encoded")
+	}
+	if err := EncodePage(page, &NodePage{Keys: nil, Kids: []uint32{2}, Next: 9}); err == nil {
+		t.Error("branch with a leaf chain link encoded")
+	}
+}
+
+func TestDecodePageRejectsCorrupt(t *testing.T) {
+	if _, err := DecodePage(make([]byte, 4)); err == nil {
+		t.Error("short image decoded")
+	}
+	page := make([]byte, 64)
+	page[0] = 99
+	if _, err := DecodePage(page); err == nil {
+		t.Error("unknown kind decoded")
+	}
+	// A leaf whose declared count overruns the page.
+	if err := EncodePage(page, &NodePage{Leaf: true, Keys: []uint64{1}, Vals: [][]byte{[]byte("xy")}}); err != nil {
+		t.Fatal(err)
+	}
+	page[2] = 0xFF // count = 255
+	if _, err := DecodePage(page); err == nil {
+		t.Error("truncated leaf decoded")
+	}
+}
+
+// TestCheckPageTree builds a tiny two-level page tree by hand and verifies
+// the checker accepts it and rejects broken variants.
+func TestCheckPageTree(t *testing.T) {
+	const pageSize = 128
+	pages := map[uint32]*NodePage{
+		1: {Keys: []uint64{10}, Kids: []uint32{2, 3}},
+		2: {Leaf: true, Next: 3, Keys: []uint64{1, 5}, Vals: [][]byte{[]byte("a"), []byte("b")}},
+		3: {Leaf: true, Keys: []uint64{10, 20}, Vals: [][]byte{[]byte("c"), []byte("d")}},
+	}
+	fetch := func(id uint32) (*NodePage, error) {
+		p, ok := pages[id]
+		if !ok {
+			return nil, errNotFound(id)
+		}
+		return p, nil
+	}
+	if err := CheckPageTree(fetch, 1, 2, 4, pageSize); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	if err := CheckPageTree(fetch, 1, 2, 5, pageSize); err == nil {
+		t.Error("wrong count accepted")
+	}
+	if err := CheckPageTree(fetch, 1, 3, 4, pageSize); err == nil {
+		t.Error("wrong height accepted")
+	}
+	pages[3].Keys[0] = 9 // below the separator bound
+	if err := CheckPageTree(fetch, 1, 2, 4, pageSize); err == nil {
+		t.Error("bound violation accepted")
+	}
+	pages[3].Keys[0] = 10
+	pages[2].Next = 0 // break the chain
+	if err := CheckPageTree(fetch, 1, 2, 4, pageSize); err == nil {
+		t.Error("broken leaf chain accepted")
+	}
+	pages[2].Next = 3
+	pages[3].Next = 2 // cycle
+	if err := CheckPageTree(fetch, 1, 2, 4, pageSize); err == nil {
+		t.Error("leaf chain cycle accepted")
+	}
+}
+
+type errNotFound uint32
+
+func (e errNotFound) Error() string { return "page not found" }

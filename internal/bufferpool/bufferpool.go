@@ -2,16 +2,38 @@
 // page-structured storage engine. It is the substrate that turns the TPC-C
 // B+-tree workload into the page-write I/O trace of the paper's §6.3
 // evaluation ("I/O traces collected from running the TPC-C benchmark on a
-// B+-tree-based storage engine. The buffer cache size was set at 4 GB").
+// B+-tree-based storage engine. The buffer cache size was set at 4 GB"),
+// and — with a write-back callback installed — the replacement engine of
+// the durable internal/pagedb database, where evictions and flushes write
+// real page images back to the log-structured store.
 //
 // The pool implements the CLOCK (second chance) replacement policy. Page
 // contents live with their owners (the B+-tree keeps its nodes; only the
 // write ORDER matters to the log-structure simulator), so the pool tracks
-// residency, reference and dirty bits, and appends a page id to the trace
-// whenever a dirty page is evicted or flushed.
+// residency, reference and dirty bits. Without a write-back callback it
+// appends a page id to the trace whenever a dirty page is evicted or
+// flushed; with one, the callback consumes those write-backs instead.
 package bufferpool
 
 import "fmt"
+
+// WriteBackFunc is the pluggable write-back hook (SetWriteBack). The pool
+// invokes it
+//
+//   - when a frame is EVICTED (evicted=true): the page is leaving the pool;
+//     dirty reports whether it holds changes that have not reached storage.
+//     The owner should persist (or stage) a dirty page's contents and drop
+//     any decoded copy it keeps. The frame is reclaimed even if the callback
+//     fails — the owner keeps responsibility for the data it was handed —
+//     but the error is retained (Err) and counted, never silently dropped.
+//   - when a dirty frame is FLUSHED (evicted=false, dirty=true) by
+//     FlushDirty: the page stays resident and is marked clean only if the
+//     callback succeeds; a failing page stays dirty and the error is
+//     returned to the FlushDirty caller as well as retained.
+//
+// The callback runs synchronously inside pool operations (Touch, Dirty,
+// Allocate, FlushDirty) and must not call back into the pool.
+type WriteBackFunc func(id uint32, dirty, evicted bool) error
 
 // Pool is a CLOCK buffer cache over an abstract page id space. It also owns
 // page id allocation so that multiple B+-trees (the TPC-C tables) share one
@@ -28,10 +50,15 @@ type Pool struct {
 
 	writes []uint32
 
+	writeBack WriteBackFunc
+	wbErr     error // first write-back failure, sticky
+
 	hits, misses   uint64
 	evictions      uint64
 	dirtyEvictions uint64
 	flushes        uint64
+	writeBacks     uint64
+	writeBackErrs  uint64
 }
 
 type frame struct {
@@ -53,6 +80,39 @@ func New(capacity int) *Pool {
 	}
 }
 
+// SetWriteBack installs the write-back callback (see WriteBackFunc). While
+// a callback is set the pool stops recording the page-write trace — the
+// callback consumes every write-back instead. Install it before the pool
+// holds dirty pages.
+func (p *Pool) SetWriteBack(fn WriteBackFunc) { p.writeBack = fn }
+
+// Err returns the first write-back callback failure, or nil. It stays set
+// (the pool has no way to retry an eviction) so owners can check it at a
+// commit boundary; wiring a new callback with SetWriteBack clears it only
+// if the owner calls ClearErr.
+func (p *Pool) Err() error { return p.wbErr }
+
+// ClearErr discards the sticky write-back error after the owner has
+// handled it.
+func (p *Pool) ClearErr() { p.wbErr = nil }
+
+// Seed restores the allocator state of a reopened database: the next fresh
+// page id and the persisted free list. It must be called on an empty pool,
+// before any allocation or access.
+func (p *Pool) Seed(nextID uint32, free []uint32) {
+	if len(p.frames) != 0 || p.nextID != 0 || len(p.freeIDs) != 0 {
+		panic("bufferpool: Seed on a pool already in use")
+	}
+	p.nextID = nextID
+	p.freeIDs = append(p.freeIDs, free...)
+}
+
+// FreeList returns a copy of the free page ids currently available for
+// reallocation (for persisting allocator state).
+func (p *Pool) FreeList() []uint32 {
+	return append([]uint32(nil), p.freeIDs...)
+}
+
 // Allocate returns a fresh page id, resident and dirty (a newly created page
 // must eventually reach storage).
 func (p *Pool) Allocate() uint32 {
@@ -69,7 +129,7 @@ func (p *Pool) Allocate() uint32 {
 }
 
 // FreePage returns a page id to the allocator. A freed page needs no final
-// write, so its frame is dropped clean.
+// write, so its frame is dropped clean and no write-back is issued.
 func (p *Pool) FreePage(id uint32) {
 	if idx, ok := p.frames[id]; ok {
 		p.ring[idx].live = false
@@ -103,6 +163,18 @@ func (p *Pool) Dirty(id uint32) {
 	p.admit(id, true)
 }
 
+// IsResident reports whether page id currently occupies a frame.
+func (p *Pool) IsResident(id uint32) bool {
+	_, ok := p.frames[id]
+	return ok
+}
+
+// IsDirty reports whether page id is resident with its dirty bit set.
+func (p *Pool) IsDirty(id uint32) bool {
+	idx, ok := p.frames[id]
+	return ok && p.ring[idx].dirty
+}
+
 // admit inserts a page, evicting a victim when the pool is full.
 func (p *Pool) admit(id uint32, dirty bool) {
 	if len(p.ring) < p.capacity {
@@ -129,6 +201,16 @@ func (p *Pool) admit(id uint32, dirty bool) {
 		p.evictions++
 		if victim.dirty {
 			p.dirtyEvictions++
+		}
+		if p.writeBack != nil {
+			p.writeBacks++
+			if err := p.writeBack(victim.id, victim.dirty, true); err != nil {
+				p.writeBackErrs++
+				if p.wbErr == nil {
+					p.wbErr = fmt.Errorf("bufferpool: write-back of evicted page %d: %w", victim.id, err)
+				}
+			}
+		} else if victim.dirty {
 			p.writes = append(p.writes, victim.id)
 		}
 		delete(p.frames, victim.id)
@@ -139,24 +221,44 @@ func (p *Pool) admit(id uint32, dirty bool) {
 }
 
 // FlushDirty writes out every dirty resident page (a checkpoint). Pages stay
-// resident and clean. The flush order is frame order, which approximates the
-// page-id ordered background writes of a checkpointer.
-func (p *Pool) FlushDirty() int {
+// resident and are marked clean once written. The flush order is frame
+// order, which approximates the page-id ordered background writes of a
+// checkpointer. With a write-back callback, a page whose callback fails
+// STAYS dirty and the first such error is returned (and retained in Err);
+// the sweep still visits every dirty page.
+func (p *Pool) FlushDirty() (int, error) {
 	n := 0
+	var firstErr error
 	for i := range p.ring {
 		f := &p.ring[i]
-		if f.live && f.dirty {
-			p.writes = append(p.writes, f.id)
-			f.dirty = false
-			p.flushes++
-			n++
+		if !f.live || !f.dirty {
+			continue
 		}
+		if p.writeBack != nil {
+			p.writeBacks++
+			if err := p.writeBack(f.id, true, false); err != nil {
+				p.writeBackErrs++
+				if p.wbErr == nil {
+					p.wbErr = fmt.Errorf("bufferpool: flush of page %d: %w", f.id, err)
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue // the page stays dirty
+			}
+		} else {
+			p.writes = append(p.writes, f.id)
+		}
+		f.dirty = false
+		p.flushes++
+		n++
 	}
-	return n
+	return n, firstErr
 }
 
-// Writes returns the page-write trace accumulated so far. The caller must
-// not retain it across further pool activity.
+// Writes returns the page-write trace accumulated so far (empty when a
+// write-back callback is installed). The caller must not retain it across
+// further pool activity.
 func (p *Pool) Writes() []uint32 { return p.writes }
 
 // MaxPageID returns the page universe size (max allocated id + 1).
@@ -172,7 +274,11 @@ type Stats struct {
 	Evictions      uint64
 	DirtyEvictions uint64
 	Flushes        uint64
-	TraceLen       int
+	// WriteBacks counts write-back callback invocations (evictions and
+	// flushes); WriteBackErrors counts the ones that failed.
+	WriteBacks      uint64
+	WriteBackErrors uint64
+	TraceLen        int
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -180,10 +286,12 @@ func (p *Pool) Stats() Stats {
 	return Stats{
 		Capacity: p.capacity,
 		Hits:     p.hits, Misses: p.misses,
-		Evictions:      p.evictions,
-		DirtyEvictions: p.dirtyEvictions,
-		Flushes:        p.flushes,
-		TraceLen:       len(p.writes),
+		Evictions:       p.evictions,
+		DirtyEvictions:  p.dirtyEvictions,
+		Flushes:         p.flushes,
+		WriteBacks:      p.writeBacks,
+		WriteBackErrors: p.writeBackErrs,
+		TraceLen:        len(p.writes),
 	}
 }
 

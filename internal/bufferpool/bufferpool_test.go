@@ -1,6 +1,9 @@
 package bufferpool
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestAllocateUniqueAndReuse(t *testing.T) {
 	p := New(16)
@@ -93,9 +96,9 @@ func TestFlushDirty(t *testing.T) {
 	a := p.Allocate()
 	b := p.Allocate()
 	p.Touch(77) // clean resident
-	n := p.FlushDirty()
-	if n != 2 {
-		t.Fatalf("FlushDirty wrote %d pages, want 2", n)
+	n, err := p.FlushDirty()
+	if n != 2 || err != nil {
+		t.Fatalf("FlushDirty wrote %d pages (err %v), want 2", n, err)
 	}
 	got := map[uint32]bool{}
 	for _, w := range p.Writes() {
@@ -105,12 +108,12 @@ func TestFlushDirty(t *testing.T) {
 		t.Fatalf("flush trace wrong: %v", p.Writes())
 	}
 	// Second flush is a no-op: pages are now clean.
-	if n := p.FlushDirty(); n != 0 {
+	if n, _ := p.FlushDirty(); n != 0 {
 		t.Fatalf("second flush wrote %d", n)
 	}
 	// Dirtying again re-queues the page.
 	p.Dirty(a)
-	if n := p.FlushDirty(); n != 1 {
+	if n, _ := p.FlushDirty(); n != 1 {
 		t.Fatalf("flush after re-dirty wrote %d", n)
 	}
 }
@@ -119,7 +122,7 @@ func TestFreedPageNeverWritten(t *testing.T) {
 	p := New(2)
 	a := p.Allocate()
 	p.FreePage(a) // dirty but freed: must not be flushed or evicted-written
-	if n := p.FlushDirty(); n != 0 {
+	if n, _ := p.FlushDirty(); n != 0 {
 		t.Fatalf("flushed %d pages after free", n)
 	}
 	p.Touch(50)
@@ -141,6 +144,115 @@ func TestHitRatio(t *testing.T) {
 	if s.HitRatio() != 0.75 {
 		t.Errorf("hit ratio = %v", s.HitRatio())
 	}
+}
+
+func TestWriteBackCallback(t *testing.T) {
+	p := New(2)
+	type wb struct {
+		id             uint32
+		dirty, evicted bool
+	}
+	var calls []wb
+	p.SetWriteBack(func(id uint32, dirty, evicted bool) error {
+		calls = append(calls, wb{id, dirty, evicted})
+		return nil
+	})
+	a := p.Allocate() // dirty
+	p.Touch(50)       // clean
+	p.Touch(51)       // evicts one of {a, 50}
+	if len(calls) != 1 || !calls[0].evicted {
+		t.Fatalf("eviction produced calls %+v, want one eviction", calls)
+	}
+	if calls[0].id == a && !calls[0].dirty {
+		t.Errorf("dirty page %d evicted with dirty=false", a)
+	}
+	if len(p.Writes()) != 0 {
+		t.Errorf("trace recorded despite callback: %v", p.Writes())
+	}
+	calls = nil
+	n, err := p.FlushDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range calls {
+		if c.evicted || !c.dirty {
+			t.Errorf("flush call %+v, want dirty non-eviction", c)
+		}
+	}
+	if n != len(calls) {
+		t.Errorf("FlushDirty reported %d, callback saw %d", n, len(calls))
+	}
+	if p.Err() != nil {
+		t.Errorf("Err = %v after successful write-backs", p.Err())
+	}
+}
+
+func TestWriteBackFailureObservable(t *testing.T) {
+	p := New(2)
+	fail := errors.New("disk on fire")
+	failing := true
+	p.SetWriteBack(func(id uint32, dirty, evicted bool) error {
+		if dirty && failing {
+			return fail
+		}
+		return nil
+	})
+	a := p.Allocate()
+	// A failing flush returns the error and leaves the page dirty.
+	if n, err := p.FlushDirty(); !errors.Is(err, fail) || n != 0 {
+		t.Fatalf("FlushDirty = (%d, %v), want (0, fail)", n, err)
+	}
+	if !p.IsDirty(a) {
+		t.Error("page marked clean despite failed flush")
+	}
+	if !errors.Is(p.Err(), fail) {
+		t.Errorf("Err = %v, want sticky failure", p.Err())
+	}
+	p.ClearErr()
+	if p.Err() != nil {
+		t.Error("ClearErr did not clear")
+	}
+	// A failing eviction still reclaims the frame but re-arms Err.
+	p.Touch(50)
+	p.Touch(51)
+	p.Touch(52)
+	if !errors.Is(p.Err(), fail) {
+		t.Errorf("Err = %v after failed dirty eviction", p.Err())
+	}
+	if p.IsResident(a) {
+		t.Error("victim still resident after eviction")
+	}
+	if st := p.Stats(); st.WriteBackErrors == 0 {
+		t.Errorf("WriteBackErrors = 0: %+v", st)
+	}
+	failing = false
+	if n, err := p.FlushDirty(); err != nil || n != 0 {
+		t.Fatalf("flush after recovery = (%d, %v)", n, err)
+	}
+}
+
+func TestSeedRestoresAllocator(t *testing.T) {
+	p := New(4)
+	p.Seed(100, []uint32{7, 9})
+	if got := p.Allocate(); got != 9 {
+		t.Errorf("first allocation = %d, want seeded free id 9", got)
+	}
+	if got := p.Allocate(); got != 7 {
+		t.Errorf("second allocation = %d, want seeded free id 7", got)
+	}
+	if got := p.Allocate(); got != 100 {
+		t.Errorf("third allocation = %d, want seeded nextID 100", got)
+	}
+	p.FreePage(9)
+	if fl := p.FreeList(); len(fl) != 1 || fl[0] != 9 {
+		t.Errorf("FreeList = %v, want [9]", fl)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Seed on a used pool did not panic")
+		}
+	}()
+	p.Seed(1, nil)
 }
 
 func TestCapacityValidation(t *testing.T) {

@@ -1,0 +1,138 @@
+package core
+
+// AdaptiveTempRouter is TempRouter with band boundaries fitted to the
+// OBSERVED update-interval distribution instead of the static log2
+// compression. The static router spreads the 28 binary orders of magnitude
+// (DefaultMaxBands) linearly over its bands, so a workload whose intervals
+// span only a few magnitudes — mild skew, the common case — lands entirely
+// in one or two bands and the remaining streams sit idle, wasting exactly
+// the frequency separation routing exists to provide (§5.3).
+//
+// The adaptive router keeps a histogram of the interval magnitudes it has
+// routed and periodically refits the magnitude→band mapping to equal-mass
+// quantiles of that histogram: each band receives roughly the same share of
+// the observed write traffic, however narrow or wide the occupied magnitude
+// range is. Between refits the mapping is frozen, so placement stays stable
+// segment to segment; at each refit the histogram is halved, an exponential
+// decay that lets the boundaries follow workloads whose temperature profile
+// shifts over time. Until the first refit it routes exactly like the static
+// TempRouter, and writes with no history still go to the coldest band (the
+// §5.2.2 "pages mostly contain cold data" presumption).
+//
+// Route mutates router state, so an AdaptiveTempRouter must not be shared
+// between engines; engine factories (MDCRoutedAdaptive) build a fresh one
+// per Algorithm value, and the engines call Route under their write locks.
+type AdaptiveTempRouter struct {
+	bands      int32
+	refitEvery int
+
+	hist [maxMagnitudes]uint64
+	mass uint64 // total histogram mass (decayed)
+	seen int    // observations since the last refit
+
+	band   [maxMagnitudes]int32 // magnitude -> band mapping
+	refits int
+}
+
+// maxMagnitudes covers every binary order of magnitude a uint64 interval
+// can take.
+const maxMagnitudes = 64
+
+// DefaultRefitEvery is how many routed writes NewAdaptiveTempRouter waits
+// between boundary refits when the caller passes 0: long enough to smooth
+// estimator noise, short enough to adapt within a few segments' worth of
+// appends.
+const DefaultRefitEvery = 1024
+
+// NewAdaptiveTempRouter returns an adaptive router with the given stream
+// count (>= 2) and refit period (0 = DefaultRefitEvery).
+func NewAdaptiveTempRouter(bands int32, refitEvery int) *AdaptiveTempRouter {
+	if bands < 2 {
+		bands = 2
+	}
+	if refitEvery <= 0 {
+		refitEvery = DefaultRefitEvery
+	}
+	r := &AdaptiveTempRouter{bands: bands, refitEvery: refitEvery}
+	// Start from the static compression so the first refitEvery writes
+	// behave exactly like TempRouter.
+	static := TempRouter{Bands: bands}
+	for m := range r.band {
+		r.band[m] = static.Route(uint64(1)<<uint(m), -1)
+	}
+	return r
+}
+
+// Streams returns the number of temperature streams.
+func (r *AdaptiveTempRouter) Streams() int32 { return r.bands }
+
+// Refits returns how many times the band boundaries have been refitted.
+func (r *AdaptiveTempRouter) Refits() int { return r.refits }
+
+// Route maps an estimated update interval onto a temperature stream and
+// folds the observation into the histogram driving the next refit. The
+// exact rate is preferred when an oracle provides it (rate > 0).
+func (r *AdaptiveTempRouter) Route(estInterval uint64, exactRate float64) int32 {
+	if exactRate > 0 {
+		iv := uint64(1 / exactRate)
+		if iv == 0 {
+			iv = 1
+		}
+		estInterval = iv
+	}
+	if estInterval == 0 {
+		return r.bands - 1 // no history: presumed cold, not an observation
+	}
+	m := bits64Log2(estInterval)
+	r.hist[m]++
+	r.mass++
+	r.seen++
+	if r.seen >= r.refitEvery {
+		r.refit()
+	}
+	return r.band[m]
+}
+
+// refit recomputes the magnitude→band mapping as equal-mass quantiles of
+// the decayed histogram, then halves the histogram so older traffic fades.
+// The mapping is monotone by construction: hotter (smaller) magnitudes
+// never land in a colder band than colder ones.
+func (r *AdaptiveTempRouter) refit() {
+	r.seen = 0
+	r.refits++
+	if r.mass == 0 {
+		return
+	}
+	var cum uint64
+	for m := 0; m < maxMagnitudes; m++ {
+		// The band whose quantile range contains this magnitude's midpoint:
+		// magnitudes holding more than a band's share of mass straddle
+		// several quantiles and take the middle one.
+		mid := cum + r.hist[m]/2
+		b := int32(mid * uint64(r.bands) / r.mass)
+		if b >= r.bands {
+			b = r.bands - 1
+		}
+		r.band[m] = b
+		cum += r.hist[m]
+	}
+	var kept uint64
+	for m := range r.hist {
+		r.hist[m] /= 2
+		kept += r.hist[m]
+	}
+	r.mass = kept
+}
+
+// MDCRoutedAdaptive is MDCRouted with adaptive band boundaries: MDC victim
+// selection, temperature-routed placement, and boundaries refitted to the
+// observed interval distribution. MDCRouted itself keeps the static
+// boundaries — adaptivity is an explicit opt-in, so existing routed
+// deployments see no behavior change.
+func MDCRoutedAdaptive() Algorithm {
+	return Algorithm{
+		Name:   "MDC-routed-adaptive",
+		Policy: mdcPolicy{},
+		Router: NewAdaptiveTempRouter(DefaultTempBands, 0),
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestAdaptiveSpreadsMildSkew is the satellite's motivating case: a
+// workload whose update intervals span only a few binary magnitudes. The
+// static compression parks everything in one band; the adaptive router
+// must spread it over (nearly) all of them.
+func TestAdaptiveSpreadsMildSkew(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	intervals := func() uint64 {
+		// Magnitudes 8..11: intervals in [256, 4096).
+		return 256 << uint(r.IntN(4))
+	}
+
+	static := TempRouter{Bands: 4}
+	staticBands := map[int32]bool{}
+	ad := NewAdaptiveTempRouter(4, 512)
+	adBands := map[int32]bool{}
+	for i := 0; i < 8192; i++ {
+		iv := intervals()
+		staticBands[static.Route(iv, -1)] = true
+		b := ad.Route(iv, -1)
+		if i > 4096 { // after adaptation
+			adBands[b] = true
+		}
+	}
+	if len(staticBands) != 1 {
+		t.Fatalf("static router used %d bands for a 4-magnitude workload; the premise changed", len(staticBands))
+	}
+	if len(adBands) < 3 {
+		t.Errorf("adaptive router used only %d bands after adaptation, want >= 3", len(adBands))
+	}
+	if ad.Refits() == 0 {
+		t.Error("no refits happened")
+	}
+}
+
+// TestAdaptiveMonotoneAndCold checks the routing contract: colder (longer)
+// intervals never route hotter than shorter ones, and no-history writes go
+// to the coldest band.
+func TestAdaptiveMonotoneAndCold(t *testing.T) {
+	ad := NewAdaptiveTempRouter(4, 256)
+	r := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 4096; i++ {
+		ad.Route(1<<uint(r.IntN(20)), -1)
+	}
+	if got := ad.Route(0, -1); got != 3 {
+		t.Errorf("no-history write routed to band %d, want coldest (3)", got)
+	}
+	prev := int32(0)
+	for m := 0; m < 40; m++ {
+		b := ad.Route(uint64(1)<<uint(m), -1)
+		if b < prev {
+			t.Fatalf("magnitude %d routes to band %d, hotter than magnitude %d's band %d", m, b, m-1, prev)
+		}
+		prev = b
+	}
+	// The exact-rate oracle path mirrors TempRouter: rate 1/x routes like
+	// interval x.
+	if a, b := ad.Route(1024, -1), ad.Route(0, 1.0/1024); a != b {
+		t.Errorf("exact rate routed to %d, estimated interval to %d", b, a)
+	}
+}
+
+// TestAdaptiveTracksShift verifies the decay: when the workload's interval
+// profile moves, the boundaries follow it.
+func TestAdaptiveTracksShift(t *testing.T) {
+	ad := NewAdaptiveTempRouter(4, 256)
+	for i := 0; i < 4096; i++ {
+		ad.Route(1<<uint(i%3), -1) // magnitudes 0..2
+	}
+	// All mass sits in magnitudes 0..2 now; magnitude 2 must be cold-ish.
+	before := ad.Route(4, -1)
+	for i := 0; i < 16384; i++ {
+		ad.Route(1<<uint(10+i%3), -1) // shift to magnitudes 10..12
+	}
+	after := ad.Route(4, -1)
+	if after > before {
+		t.Errorf("magnitude 2 got colder (%d -> %d) after the workload shifted above it", before, after)
+	}
+	if got := ad.Route(1<<12, -1); got != 3 {
+		t.Errorf("the new coldest magnitude routes to band %d, want 3", got)
+	}
+}
+
+func TestMDCRoutedAdaptiveRegistered(t *testing.T) {
+	alg, err := ByName("MDC-routed-adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Router == nil || alg.Router.Streams() != DefaultTempBands {
+		t.Fatalf("MDC-routed-adaptive router misconfigured: %+v", alg)
+	}
+	// Factories must not share router state between calls.
+	a, _ := ByName("MDC-routed-adaptive")
+	b, _ := ByName("MDC-routed-adaptive")
+	if a.Router == b.Router {
+		t.Error("two MDC-routed-adaptive instances share one router")
+	}
+	// And MDCRouted stays static: its router is a stateless value.
+	if _, ok := MDCRouted().Router.(TempRouter); !ok {
+		t.Error("MDCRouted no longer uses the static TempRouter")
+	}
+}

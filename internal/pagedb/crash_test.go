@@ -1,0 +1,215 @@
+package pagedb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// This file proves the commit contract of the metadata/root page across
+// crashes: a commit is one store batch, so a crash that tears it (some
+// members on disk, some not) must roll the database back to the PREVIOUS
+// commit's image — metadata page included — while a crash after a complete
+// commit keeps it. The tear is simulated by destroying one member record's
+// CRC on disk, exactly what a lost sector does.
+//
+// The record scanner below reads the store's documented v2 on-disk format
+// (internal/store/record.go): 32-byte segment header, then fixed-size
+// records of 24-byte header (pageID 0:4 | flags 4:8 | seq 8:16 | crc 16:20
+// | batchPos 20:24) + page payload; flagBatch = 2. If the format changes,
+// these offsets fail loudly here and in the store's own torn-batch tests.
+const (
+	tSegHeader = 32
+	tRecHeader = 24
+	tFlagBatch = 2
+)
+
+type diskRec struct {
+	file string
+	off  int
+	pos  uint32
+}
+
+// newestBatch locates the on-disk records of the newest (highest start seq)
+// multi-record batch, ordered by batch position.
+func newestBatch(t *testing.T, dir string, pageSize int) []diskRec {
+	t.Helper()
+	recSize := tRecHeader + pageSize
+	var bestStart uint64
+	byPos := map[uint32]diskRec{}
+	files, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := tSegHeader; off+recSize <= len(data); off += recSize {
+			flags := binary.LittleEndian.Uint32(data[off+4 : off+8])
+			if flags&tFlagBatch == 0 {
+				continue
+			}
+			seq := binary.LittleEndian.Uint64(data[off+8 : off+16])
+			pos := binary.LittleEndian.Uint32(data[off+20 : off+24])
+			start := seq - uint64(pos)
+			if start > bestStart {
+				bestStart = start
+				byPos = map[uint32]diskRec{}
+			}
+			if start == bestStart {
+				byPos[pos] = diskRec{file: f, off: off, pos: pos}
+			}
+		}
+	}
+	if len(byPos) == 0 {
+		t.Fatal("no batch records found on disk")
+	}
+	recs := make([]diskRec, 0, len(byPos))
+	for pos := uint32(0); int(pos) < len(byPos); pos++ {
+		r, ok := byPos[pos]
+		if !ok {
+			t.Fatalf("batch position %d missing on disk", pos)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// corrupt destroys a record's CRC in place, simulating a member that never
+// reached storage.
+func (r diskRec) corrupt(t *testing.T) {
+	t.Helper()
+	f, err := os.OpenFile(r.file, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	crc := make([]byte, 4)
+	if _, err := f.ReadAt(crc, int64(r.off+16)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range crc {
+		crc[i] ^= 0xFF
+	}
+	if _, err := f.WriteAt(crc, int64(r.off+16)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tornSetup builds a database with two commits — A (the baseline) and B
+// (the final batch, which the subtests may tear) — then crashes it.
+func tornSetup(t *testing.T) (dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	db, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := db.Tree("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 120; k++ {
+		if err := tr.Put(k, val(k, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil { // commit A
+		t.Fatal(err)
+	}
+	// Commit B: overwrite a spread of keys and add one, touching several
+	// pages plus the metadata page.
+	for k := uint64(0); k < 120; k += 10 {
+		if err := tr.Put(k, val(k, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Put(777, val(777, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil { // commit B
+		t.Fatal(err)
+	}
+	db.crash()
+	return dir
+}
+
+func verifyState(t *testing.T, dir string, wantB bool) {
+	t.Helper()
+	db, err := Open(durableOpts(dir))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer db.Close()
+	tr, err := db.Tree("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen, wantVer := 120, byte(1)
+	if wantB {
+		wantLen, wantVer = 121, 2
+	}
+	if tr.Len() != wantLen {
+		t.Fatalf("Len = %d, want %d (metadata page rolled to the wrong commit)", tr.Len(), wantLen)
+	}
+	for k := uint64(0); k < 120; k++ {
+		v, ok, err := tr.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%d) after recovery: ok=%v err=%v", k, ok, err)
+		}
+		ver := byte(1)
+		if wantB && k%10 == 0 {
+			ver = wantVer
+		}
+		if !bytes.Equal(v, val(k, ver)) {
+			t.Fatalf("key %d recovered at the wrong version (want v%d)", k, ver)
+		}
+	}
+	if _, ok, _ := tr.Get(777); ok != wantB {
+		t.Fatalf("commit B's new key present=%v, want %v", ok, wantB)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("recovered tree invariants: %v", err)
+	}
+	// The database keeps working after recovery.
+	if err := tr.Put(888, val(888, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornCommitRollsBackWholesale(t *testing.T) {
+	t.Run("intact final commit survives the crash", func(t *testing.T) {
+		dir := tornSetup(t)
+		verifyState(t, dir, true)
+	})
+	t.Run("first member torn", func(t *testing.T) {
+		dir := tornSetup(t)
+		recs := newestBatch(t, dir, 256)
+		recs[0].corrupt(t)
+		verifyState(t, dir, false)
+	})
+	t.Run("middle member torn", func(t *testing.T) {
+		dir := tornSetup(t)
+		recs := newestBatch(t, dir, 256)
+		if len(recs) < 3 {
+			t.Fatalf("batch has only %d members; commit B should span several pages", len(recs))
+		}
+		recs[len(recs)/2].corrupt(t)
+		verifyState(t, dir, false)
+	})
+	t.Run("terminal member (metadata page) torn", func(t *testing.T) {
+		dir := tornSetup(t)
+		recs := newestBatch(t, dir, 256)
+		// The metadata page is written last, so the terminal member IS the
+		// meta/root record: tearing it must drop the whole commit.
+		recs[len(recs)-1].corrupt(t)
+		verifyState(t, dir, false)
+	})
+}

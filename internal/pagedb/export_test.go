@@ -1,0 +1,11 @@
+package pagedb
+
+// crash simulates a process crash for tests: the DB is abandoned without a
+// final commit, checkpoint, or store shutdown — on-disk state stays exactly
+// as the last Apply left it. The store's file handles leak until the test
+// process exits, which keeps the files bit-identical to a real crash.
+func (db *DB) crash() {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+}

@@ -1,0 +1,527 @@
+// Package pagedb is a durable keyed database engine: the B+-tree/buffer-pool
+// stack of internal/btree and internal/bufferpool layered, for real, on the
+// log-structured page store of internal/store. It closes the loop the paper
+// assumes from its first page — a B-tree page store whose every page write
+// lands in a log-structured store that must then reclaim the space of
+// superseded versions (§1, §6.3) — and it is what lets the TPC-C engine run
+// against durable storage instead of emitting a synthetic trace.
+//
+// # Architecture
+//
+//	named B+-trees (uint64 keys, []byte values)
+//	    └── node cache: decoded nodes, CLOCK residency via bufferpool.Pool
+//	          ├── fault: miss -> Store.ReadPage -> btree.DecodePage
+//	          └── write-back: dirty eviction -> staged page image
+//	                └── Commit: one atomic store.Batch (pages + frees + meta)
+//	                      └── internal/store: log-structured placement,
+//	                          routed streams, background cleaning, recovery
+//
+// Every tree node occupies exactly one store page (btree.NodePage images).
+// The buffer pool bounds how many decoded nodes stay in memory: a miss
+// faults the page in from the store, a dirty eviction encodes the node and
+// stages its image for the next commit (the pool's write-back callback), so
+// between commits the freshest version of an evicted page lives in the
+// stage, not the store.
+//
+// # Commit and crash atomicity
+//
+// Commit gathers every dirty page image (resident and staged), every page
+// freed by structural changes, and the metadata page into ONE store.Batch
+// and applies it atomically: under core.DurCommit the batch is group-fsynced
+// and recovery discards a torn batch wholesale, so a pagedb database always
+// reopens as some prefix of its commit history — never a half-applied
+// commit. Changes made since the last Commit are volatile by design (this
+// engine checkpoints like a no-WAL B-tree: the commit batch IS the log).
+//
+// The metadata page (page id 0, never cached) records the named-tree
+// registry (root, height, count per tree) and the page allocator state
+// (next id, free list), so Open recovers every tree from the store alone.
+//
+// DB methods are safe for concurrent use; one mutex serializes operations
+// (the structural work is pointer-chasing in memory, the heavy lifting —
+// cleaning, group fsync — happens in the store's own concurrency domain).
+// Scan callbacks must not call back into the DB.
+package pagedb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bufferpool"
+	"repro/internal/store"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("pagedb: closed")
+
+// ErrTooLarge is returned by Put when a value cannot fit a page under the
+// three-entries-per-leaf minimum the split logic needs.
+var ErrTooLarge = errors.New("pagedb: value too large for page size")
+
+// metaPageID is the reserved store page holding the database metadata. It
+// doubles as the nil page id (leaf chains end at 0), so no tree node may
+// ever be allocated there.
+const metaPageID = 0
+
+// metaMagic identifies a pagedb metadata page (format 1).
+const metaMagic = "PGDBMET1"
+
+// Options configures Open.
+type Options struct {
+	// Store configures the backing log-structured page store: directory,
+	// geometry, cleaning algorithm (routed placement included), background
+	// cleaning, and the durability policy. Commit atomicity across a crash
+	// needs core.DurCommit.
+	Store store.Options
+	// CachePages bounds the decoded-node cache (default 1024, minimum 8).
+	CachePages int
+}
+
+// DB is an open pagedb database.
+type DB struct {
+	mu       sync.Mutex
+	st       *store.Store
+	pool     *bufferpool.Pool
+	pageSize int
+
+	nodes   map[uint32]*dnode // decoded nodes, superset of pool residency during an op
+	pending map[uint32][]byte // dirty images evicted since the last commit
+	freed   map[uint32]bool   // pages freed since the last commit
+	// encodeFailed poisons Commit while any page's state cannot be
+	// serialized (an internal invariant failure): a commit that silently
+	// omitted such a page would persist parents referencing a child whose
+	// image never made it to the store.
+	encodeFailed map[uint32]error
+	evq          []evictRec        // evictions queued during the current operation
+	stage        map[uint32][]byte // commit-in-progress image set (FlushDirty target)
+	trees        map[string]*Tree  // named-tree registry
+	order        []string          // registry in creation order (meta determinism)
+
+	metaDirty bool
+	closed    bool
+
+	commits      uint64
+	commitPages  uint64
+	faults       uint64
+	stagedEvicts uint64
+}
+
+type evictRec struct {
+	id    uint32
+	dirty bool
+}
+
+// Open creates or recovers a database. A fresh store is initialized with an
+// empty registry; an existing one must carry a pagedb metadata page.
+func Open(opts Options) (*DB, error) {
+	if opts.CachePages == 0 {
+		opts.CachePages = 1024
+	}
+	if opts.CachePages < 8 {
+		opts.CachePages = 8
+	}
+	pageSize := opts.Store.PageSize
+	if pageSize == 0 {
+		pageSize = 4096 // the store's own default
+	}
+	st, err := store.Open(opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		st:           st,
+		pool:         bufferpool.New(opts.CachePages),
+		pageSize:     pageSize,
+		nodes:        make(map[uint32]*dnode),
+		pending:      make(map[uint32][]byte),
+		freed:        make(map[uint32]bool),
+		encodeFailed: make(map[uint32]error),
+		trees:        make(map[string]*Tree),
+	}
+	db.pool.SetWriteBack(db.writeBack)
+
+	buf := make([]byte, pageSize)
+	switch err := st.ReadPage(metaPageID, buf); {
+	case errors.Is(err, store.ErrNotFound):
+		if st.Stats().LivePages > 0 {
+			st.Close()
+			return nil, fmt.Errorf("pagedb: store holds %d pages but no metadata page; not a pagedb store", st.Stats().LivePages)
+		}
+		db.pool.Seed(metaPageID+1, nil)
+		db.metaDirty = true
+	case err != nil:
+		st.Close()
+		return nil, err
+	default:
+		if err := db.decodeMeta(buf); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// writeBack is the buffer pool's callback. Evictions are queued and settled
+// at the end of the current operation (sweepEvictions) so that nodes held
+// by an in-flight tree operation are never dropped mid-use; flushes (only
+// issued by Commit) encode straight into the commit stage.
+func (db *DB) writeBack(id uint32, dirty, evicted bool) error {
+	if evicted {
+		db.evq = append(db.evq, evictRec{id: id, dirty: dirty})
+		return nil
+	}
+	if db.stage == nil {
+		return fmt.Errorf("pagedb: flush of page %d outside a commit", id)
+	}
+	n, ok := db.nodes[id]
+	if !ok {
+		return fmt.Errorf("pagedb: flush of page %d with no decoded node", id)
+	}
+	img, err := n.encode(db.pageSize)
+	if err != nil {
+		db.encodeFailed[id] = err
+		return err
+	}
+	delete(db.encodeFailed, id)
+	db.stage[id] = img
+	return nil
+}
+
+// sweepEvictions settles the evictions queued during the operation that
+// just finished: a page re-admitted meanwhile keeps (and re-arms) its dirty
+// bit; a page that stayed out has its node encoded into the pending stage
+// (if dirty) and its decoded copy dropped. A node whose encode fails is
+// re-admitted DIRTY instead of dropped — nothing is lost, the encode is
+// retried at the next eviction or commit. Re-admissions can evict further
+// frames, so the queue is drained in passes (bounded: only encode failures
+// re-admit). Runs with db.mu held, at a point where no tree operation is
+// holding node pointers.
+func (db *DB) sweepEvictions() error {
+	var firstErr error
+	for pass := 0; len(db.evq) > 0; pass++ {
+		merged := make(map[uint32]bool, len(db.evq))
+		for _, e := range db.evq {
+			merged[e.id] = merged[e.id] || e.dirty
+		}
+		db.evq = db.evq[:0]
+		for id, dirty := range merged {
+			if db.pool.IsResident(id) {
+				if dirty {
+					db.pool.Dirty(id) // preserve dirtiness across the round trip
+				}
+				continue
+			}
+			n, ok := db.nodes[id]
+			if !ok {
+				continue // freed during the operation
+			}
+			if dirty {
+				img, err := n.encode(db.pageSize)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					// Record the failure so no later Commit can succeed
+					// while this page's state is unpersistable, then keep
+					// the page resident and dirty for a retry. The pass
+					// guard only breaks re-admission ping-pong between
+					// multiple failing pages; the poison set keeps even
+					// that case from turning into a silent commit.
+					db.encodeFailed[id] = err
+					if pass < 3 {
+						db.pool.Dirty(id)
+					}
+					continue
+				}
+				delete(db.encodeFailed, id)
+				db.pending[id] = img
+				db.stagedEvicts++
+			}
+			delete(db.nodes, id)
+		}
+	}
+	return firstErr
+}
+
+// finishOp settles evictions and folds any sweep failure into the
+// operation's error.
+func (db *DB) finishOp(err error) error {
+	if serr := db.sweepEvictions(); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// Commit makes every change since the last commit durable as one atomic
+// store batch: all dirty page images (resident and previously evicted),
+// tombstones for freed pages, and the metadata page. On failure nothing is
+// applied and the images stay staged for the next attempt. With the store
+// at core.DurCommit, Commit returns only after the batch is fsynced.
+func (db *DB) Commit() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.commitLocked()
+}
+
+func (db *DB) commitLocked() error {
+	if err := db.sweepEvictions(); err != nil {
+		return err
+	}
+	// A sticky write-back error means some earlier eviction-path callback
+	// failed (impossible in this engine's callback, which only queues, but
+	// the pool contract allows it). Surface it once and clear it so the
+	// retry contract below stays honest — the failing pages are still
+	// dirty-resident or decoded, so nothing was lost.
+	if err := db.pool.Err(); err != nil {
+		db.pool.ClearErr()
+		return err
+	}
+	// An unpersistable page (failed encode) poisons every commit until its
+	// state becomes encodable again or the page is freed: omitting it would
+	// persist a tree referencing an image the store never got.
+	for id, err := range db.encodeFailed {
+		return fmt.Errorf("pagedb: page %d has unpersistable state: %w", id, err)
+	}
+
+	// Freed pages: only those that exist in the store need a tombstone (a
+	// page allocated and freed between commits never reached it).
+	var dels []uint32
+	for id := range db.freed {
+		if db.st.Has(id) {
+			dels = append(dels, id)
+		}
+	}
+	sort.Slice(dels, func(i, j int) bool { return dels[i] < dels[j] })
+
+	// Gather images: previously evicted dirty pages, then every dirty
+	// resident page via the pool's flush callback (fresher state wins).
+	db.stage = make(map[uint32][]byte, len(db.pending)+8)
+	for id, img := range db.pending {
+		db.stage[id] = img
+	}
+	_, flushErr := db.pool.FlushDirty()
+	stage := db.stage
+	db.stage = nil
+	if flushErr != nil {
+		// Pages whose flush callback failed stay dirty and resident, so the
+		// next Commit retries them; what did stage goes back to pending.
+		// Clear the pool's sticky copy of the error — it was delivered.
+		db.restoreStage(stage)
+		db.pool.ClearErr()
+		return flushErr
+	}
+	// (A freed page can never be in the stage: freeNode drops both its
+	// pending image and its pool frame, and a reallocated id leaves
+	// db.freed — the maps are disjoint by construction.)
+
+	if len(stage) == 0 && len(dels) == 0 && !db.metaDirty {
+		return nil
+	}
+
+	b := store.NewBatch()
+	ids := make([]uint32, 0, len(stage))
+	for id := range stage {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b.Write(id, stage[id])
+	}
+	for _, id := range dels {
+		b.Delete(id)
+	}
+	meta, err := db.encodeMeta()
+	if err != nil {
+		db.restoreStage(stage)
+		return err
+	}
+	b.Write(metaPageID, meta)
+
+	if err := db.st.Apply(b); err != nil {
+		db.restoreStage(stage)
+		return err
+	}
+	db.pending = make(map[uint32][]byte)
+	db.freed = make(map[uint32]bool)
+	db.metaDirty = false
+	db.commits++
+	db.commitPages += uint64(len(ids)) + 1
+	return nil
+}
+
+// restoreStage puts a failed commit's images back into the pending set so
+// the flushed-clean pool does not orphan them; the next commit retries.
+func (db *DB) restoreStage(stage map[uint32][]byte) {
+	for id, img := range stage {
+		db.pending[id] = img
+	}
+	db.metaDirty = true
+}
+
+// Sync flushes the backing store (an explicit durability point for stores
+// running below core.DurCommit).
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.st.Sync()
+}
+
+// Close commits outstanding changes and shuts the store down (checkpoint
+// included). The DB is unusable afterwards, even on error.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	err := db.commitLocked()
+	db.closed = true
+	if cerr := db.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats is a snapshot of the engine's counters across its layers.
+type Stats struct {
+	// Pool is the node-cache (buffer pool) snapshot.
+	Pool bufferpool.Stats
+	// Store is the backing page store snapshot: occupancy, write
+	// amplification, cleaner lifecycle, per-stream occupancy.
+	Store store.Stats
+	// Trees is the number of named trees.
+	Trees int
+	// Commits counts successful Commit batches; CommittedPages the page
+	// images they carried (meta included).
+	Commits        uint64
+	CommittedPages uint64
+	// PendingPages is the number of dirty images staged by evictions and
+	// not yet committed.
+	PendingPages int
+	// Faults counts node-cache misses served from the store.
+	Faults uint64
+	// StagedEvictions counts dirty evictions staged between commits.
+	StagedEvictions uint64
+}
+
+// Stats returns a snapshot of the database counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return Stats{
+		Pool:            db.pool.Stats(),
+		Store:           db.st.Stats(),
+		Trees:           len(db.trees),
+		Commits:         db.commits,
+		CommittedPages:  db.commitPages,
+		PendingPages:    len(db.pending),
+		Faults:          db.faults,
+		StagedEvictions: db.stagedEvicts,
+	}
+}
+
+// metadata page layout (fits one page; little-endian):
+//
+//	magic (8) | nextID (4) | ntrees (4) | nfree (4)
+//	per tree: nameLen (2) | name | root (4) | height (4) | count (8)
+//	free ids (4 each)
+//
+// The free list is truncated if it outgrows the page (those ids leak until
+// the store is rebuilt — harmless, and sized generously: a 4 KiB page holds
+// ~1000 free ids).
+func (db *DB) encodeMeta() ([]byte, error) {
+	buf := make([]byte, 0, db.pageSize)
+	buf = append(buf, metaMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, db.pool.MaxPageID())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(db.order)))
+	free := db.pool.FreeList()
+	nfreeOff := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // patched below
+	for _, name := range db.order {
+		t := db.trees[name]
+		if len(name) > 0xFFFF {
+			return nil, fmt.Errorf("pagedb: tree name %q too long", name)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		buf = binary.LittleEndian.AppendUint32(buf, t.root)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.height))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.count))
+	}
+	if len(buf) > db.pageSize {
+		return nil, fmt.Errorf("pagedb: metadata (%d trees) exceeds the %d-byte page", len(db.order), db.pageSize)
+	}
+	kept := 0
+	for _, id := range free {
+		if len(buf)+4 > db.pageSize {
+			break
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, id)
+		kept++
+	}
+	binary.LittleEndian.PutUint32(buf[nfreeOff:], uint32(kept))
+	img := make([]byte, db.pageSize)
+	copy(img, buf)
+	return img, nil
+}
+
+func (db *DB) decodeMeta(img []byte) error {
+	if len(img) < 20 || string(img[:8]) != metaMagic {
+		return fmt.Errorf("pagedb: malformed metadata page")
+	}
+	nextID := binary.LittleEndian.Uint32(img[8:12])
+	ntrees := int(binary.LittleEndian.Uint32(img[12:16]))
+	nfree := int(binary.LittleEndian.Uint32(img[16:20]))
+	off := 20
+	for i := 0; i < ntrees; i++ {
+		if off+2 > len(img) {
+			return fmt.Errorf("pagedb: truncated tree registry")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(img[off:]))
+		off += 2
+		if off+nameLen+16 > len(img) {
+			return fmt.Errorf("pagedb: truncated tree registry entry %d", i)
+		}
+		name := string(img[off : off+nameLen])
+		off += nameLen
+		t := &Tree{
+			db:     db,
+			name:   name,
+			root:   binary.LittleEndian.Uint32(img[off:]),
+			height: int(binary.LittleEndian.Uint32(img[off+4:])),
+			count:  int(binary.LittleEndian.Uint64(img[off+8:])),
+		}
+		off += 16
+		if t.root == metaPageID || t.root >= nextID || t.height < 1 {
+			return fmt.Errorf("pagedb: tree %q has invalid root %d (next id %d)", name, t.root, nextID)
+		}
+		if _, dup := db.trees[name]; dup {
+			return fmt.Errorf("pagedb: duplicate tree %q in metadata", name)
+		}
+		db.trees[name] = t
+		db.order = append(db.order, name)
+	}
+	if off+4*nfree > len(img) {
+		return fmt.Errorf("pagedb: truncated free list")
+	}
+	free := make([]uint32, 0, nfree)
+	for i := 0; i < nfree; i++ {
+		id := binary.LittleEndian.Uint32(img[off:])
+		off += 4
+		if id == metaPageID || id >= nextID {
+			return fmt.Errorf("pagedb: invalid free page id %d", id)
+		}
+		free = append(free, id)
+	}
+	db.pool.Seed(nextID, free)
+	return nil
+}

@@ -636,6 +636,18 @@ func (s *Store) ReadPage(id uint32, buf []byte) error {
 	return nil
 }
 
+// Has reports whether page id currently exists (a cheap page-table lookup,
+// no I/O). A closed store has no pages.
+func (s *Store) Has(id uint32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	_, ok := s.table[id]
+	return ok
+}
+
 // WritePage stores data (PageSize bytes) as page id's new current version.
 func (s *Store) WritePage(id uint32, data []byte) error {
 	if len(data) != s.opts.PageSize {

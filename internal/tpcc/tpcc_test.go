@@ -42,7 +42,7 @@ func TestLoadPopulatesTables(t *testing.T) {
 	if e.newOrder.Len() == 0 {
 		t.Error("no undelivered orders after load")
 	}
-	if e.loadPages == 0 {
+	if e.sh.loadPages == 0 {
 		t.Error("load allocated no pages")
 	}
 }
@@ -74,11 +74,15 @@ func TestTransactionsRunAndGrow(t *testing.T) {
 		t.Error("page universe did not grow (fill factor cannot rise)")
 	}
 	// Trees stay structurally sound under the full mix.
-	for _, tr := range []interface{ CheckInvariants() error }{
+	for _, tr := range []Table{
 		e.warehouse, e.district, e.customer, e.custName, e.orders,
 		e.orderCust, e.newOrder, e.orderLine, e.history, e.item, e.stock,
 	} {
-		if err := tr.CheckInvariants(); err != nil {
+		c, ok := tr.(interface{ CheckInvariants() error })
+		if !ok {
+			t.Fatalf("table %T exposes no invariant check", tr)
+		}
+		if err := c.CheckInvariants(); err != nil {
 			t.Fatalf("tree invariant violated: %v", err)
 		}
 	}
@@ -88,8 +92,8 @@ func TestTraceShape(t *testing.T) {
 	e := NewEngine(smallCfg())
 	e.Run(4000)
 	tr := e.Trace()
-	if tr.Preload != e.loadPages || tr.Universe < tr.Preload {
-		t.Fatalf("trace header wrong: %+v loadPages=%d", tr, e.loadPages)
+	if tr.Preload != e.sh.loadPages || tr.Universe < tr.Preload {
+		t.Fatalf("trace header wrong: %+v loadPages=%d", tr, e.sh.loadPages)
 	}
 	if len(tr.Writes) == 0 {
 		t.Fatal("empty run trace")

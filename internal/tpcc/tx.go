@@ -1,6 +1,10 @@
 package tpcc
 
 import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
 	"repro/internal/bufferpool"
 	"repro/internal/trace"
 )
@@ -13,21 +17,47 @@ func (e *Engine) nuRand(a uint64, c uint64, x, y int) int {
 }
 
 func (e *Engine) randCustomer() int {
-	return e.nuRand(1023, e.cID, 1, e.cfg.CustomersPerDistrict)
+	return e.nuRand(1023, e.sh.cID, 1, e.cfg.CustomersPerDistrict)
 }
 
 func (e *Engine) randItem() int {
-	return e.nuRand(8191, e.cOLI, 1, e.cfg.Items)
+	return e.nuRand(8191, e.sh.cOLI, 1, e.cfg.Items)
 }
 
 func (e *Engine) randDistrict() int { return 1 + e.r.IntN(e.cfg.DistrictsPerWarehouse) }
 
 // Run executes n transactions at the standard TPC-C mix, checkpointing per
-// the configuration.
+// the configuration. It stops early on a backend error (Err).
 func (e *Engine) Run(n int) {
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !e.broken(); i++ {
 		e.RunOne()
 	}
+}
+
+// RunConcurrent executes total transactions across workers goroutines, all
+// sharing this engine's tables and counters (each worker draws from its own
+// random stream). The backend must be safe for concurrent use — pagedb is,
+// the built-in in-memory backend is NOT. Returns the first backend error.
+func (e *Engine) RunConcurrent(total, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := total / workers
+		if w < total%workers {
+			n++
+		}
+		clone := *e
+		clone.r = rand.New(rand.NewPCG(uint64(e.cfg.Seed)+uint64(w)+1, 0x9a3c114be2f7d055))
+		wg.Add(1)
+		go func(c *Engine, n int) {
+			defer wg.Done()
+			c.Run(n)
+		}(&clone, n)
+	}
+	wg.Wait()
+	return e.Err()
 }
 
 // RunOne executes a single transaction drawn from the standard mix and
@@ -52,11 +82,12 @@ func (e *Engine) RunOne() Tx {
 		tx = TxStockLevel
 		e.stockLevelTx(w)
 	}
-	e.txCounts[tx]++
-	e.txSinceCkp++
-	if e.cfg.CheckpointEveryTx > 0 && e.txSinceCkp >= e.cfg.CheckpointEveryTx {
-		e.pool.FlushDirty()
-		e.txSinceCkp = 0
+	e.sh.txCounts[tx].Add(1)
+	if every := int64(e.cfg.CheckpointEveryTx); every > 0 {
+		if e.sh.txSinceCkp.Add(1) >= every {
+			e.sh.txSinceCkp.Store(0)
+			e.commit()
+		}
 	}
 	return tx
 }
@@ -67,9 +98,9 @@ func (e *Engine) RunOne() Tx {
 func (e *Engine) newOrderTx(w int) {
 	d := e.randDistrict()
 	c := e.randCustomer()
-	e.warehouse.Get(keyWarehouse(w))
-	e.district.Insert(keyDistrict(w, d), e.pad(rowDistrict)) // next_o_id++
-	e.customer.Get(keyCustomer(w, d, c))
+	e.get(e.warehouse, keyWarehouse(w))
+	e.put(e.district, keyDistrict(w, d), e.pad(rowDistrict)) // next_o_id++
+	e.get(e.customer, keyCustomer(w, d, c))
 
 	lines := 5 + e.r.IntN(11)
 	abort := e.r.IntN(100) == 0
@@ -84,15 +115,15 @@ func (e *Engine) newOrderTx(w int) {
 			// 1% of lines are supplied by a remote warehouse.
 			sw = 1 + e.r.IntN(e.cfg.Warehouses)
 		}
-		e.item.Get(keyItem(i))
-		e.stock.Insert(keyStock(sw, i), e.pad(rowStock)) // quantity update
+		e.get(e.item, keyItem(i))
+		e.put(e.stock, keyStock(sw, i), e.pad(rowStock)) // quantity update
 	}
 	o := e.takeOID(w, d)
-	e.orders.Insert(keyOrder(w, d, o), e.pad(rowOrder))
-	e.orderCust.Insert(keyOrderCust(w, d, c, o), e.pad(rowIndex))
-	e.newOrder.Insert(keyNewOrder(w, d, o), e.pad(rowNewOrder))
+	e.put(e.orders, keyOrder(w, d, o), e.pad(rowOrder))
+	e.put(e.orderCust, keyOrderCust(w, d, c, o), e.pad(rowIndex))
+	e.put(e.newOrder, keyNewOrder(w, d, o), e.pad(rowNewOrder))
 	for ol := 1; ol <= lines; ol++ {
-		e.orderLine.Insert(keyOrderLine(w, d, o, ol), e.pad(rowOrderLine))
+		e.put(e.orderLine, keyOrderLine(w, d, o, ol), e.pad(rowOrderLine))
 	}
 }
 
@@ -108,22 +139,21 @@ func (e *Engine) paymentTx(w int) {
 		}
 		cd = e.randDistrict()
 	}
-	e.warehouse.Insert(keyWarehouse(w), e.pad(rowWarehouse)) // w_ytd
-	e.district.Insert(keyDistrict(w, d), e.pad(rowDistrict)) // d_ytd
+	e.put(e.warehouse, keyWarehouse(w), e.pad(rowWarehouse)) // w_ytd
+	e.put(e.district, keyDistrict(w, d), e.pad(rowDistrict)) // d_ytd
 
 	c := e.selectCustomer(cw, cd)
-	e.customer.Insert(keyCustomer(cw, cd, c), e.pad(rowCustomer))
-	e.history.Insert(e.histSeq, e.pad(rowHistory))
-	e.histSeq++
+	e.put(e.customer, keyCustomer(cw, cd, c), e.pad(rowCustomer))
+	e.put(e.history, e.sh.histSeq.Add(1)-1, e.pad(rowHistory))
 }
 
 // selectCustomer picks a customer 60% by last name (range scan on the name
 // index, middle match per the spec) and 40% by id.
 func (e *Engine) selectCustomer(w, d int) int {
 	if e.r.IntN(100) < 60 {
-		h := lastNameHash(uint64(e.nuRand(255, e.cLast, 0, 999)))
+		h := lastNameHash(uint64(e.nuRand(255, e.sh.cLast, 0, 999)))
 		var ids []int
-		e.custName.Scan(keyCustName(w, d, h, 0), keyCustName(w, d, h, 1<<16-1),
+		e.scanT(e.custName, keyCustName(w, d, h, 0), keyCustName(w, d, h, 1<<16-1),
 			func(k uint64, _ []byte) bool {
 				ids = append(ids, int(k&0xFFFF))
 				return true
@@ -139,11 +169,11 @@ func (e *Engine) selectCustomer(w, d int) int {
 func (e *Engine) orderStatusTx(w int) {
 	d := e.randDistrict()
 	c := e.selectCustomer(w, d)
-	e.customer.Get(keyCustomer(w, d, c))
+	e.get(e.customer, keyCustomer(w, d, c))
 
 	var o uint64
 	found := false
-	e.orderCust.Scan(keyOrderCust(w, d, c, 0xFFFFFF), keyOrderCust(w, d, c, 0),
+	e.scanT(e.orderCust, keyOrderCust(w, d, c, 0xFFFFFF), keyOrderCust(w, d, c, 0),
 		func(k uint64, _ []byte) bool {
 			o = (^k) & 0xFFFFFF
 			found = true
@@ -152,8 +182,8 @@ func (e *Engine) orderStatusTx(w int) {
 	if !found {
 		return
 	}
-	e.orders.Get(keyOrder(w, d, o))
-	e.orderLine.Scan(keyOrderLine(w, d, o, 0), keyOrderLine(w, d, o, 15),
+	e.get(e.orders, keyOrder(w, d, o))
+	e.scanT(e.orderLine, keyOrderLine(w, d, o, 0), keyOrderLine(w, d, o, 15),
 		func(uint64, []byte) bool { return true })
 }
 
@@ -164,7 +194,7 @@ func (e *Engine) deliveryTx(w int) {
 	for d := 1; d <= e.cfg.DistrictsPerWarehouse; d++ {
 		var o uint64
 		found := false
-		e.newOrder.Scan(keyNewOrder(w, d, 0), keyNewOrder(w, d, 1<<32-1),
+		e.scanT(e.newOrder, keyNewOrder(w, d, 0), keyNewOrder(w, d, 1<<32-1),
 			func(k uint64, _ []byte) bool {
 				o = k & 0xFFFFFFFF
 				found = true
@@ -173,17 +203,17 @@ func (e *Engine) deliveryTx(w int) {
 		if !found {
 			continue
 		}
-		e.newOrder.Delete(keyNewOrder(w, d, o))
-		e.orders.Insert(keyOrder(w, d, o), e.pad(rowOrder)) // carrier id
+		e.del(e.newOrder, keyNewOrder(w, d, o))
+		e.put(e.orders, keyOrder(w, d, o), e.pad(rowOrder)) // carrier id
 		lines := 0
-		e.orderLine.Scan(keyOrderLine(w, d, o, 0), keyOrderLine(w, d, o, 15),
+		e.scanT(e.orderLine, keyOrderLine(w, d, o, 0), keyOrderLine(w, d, o, 15),
 			func(uint64, []byte) bool { lines++; return true })
 		for ol := 1; ol <= lines; ol++ {
-			e.orderLine.Insert(keyOrderLine(w, d, o, ol), e.pad(rowOrderLine)) // delivery date
+			e.put(e.orderLine, keyOrderLine(w, d, o, ol), e.pad(rowOrderLine)) // delivery date
 		}
 		// The order's customer: approximate with a NURand pick (the order
 		// row is padding, so the original customer id is not recorded).
-		e.customer.Insert(keyCustomer(w, d, e.randCustomer()), e.pad(rowCustomer))
+		e.put(e.customer, keyCustomer(w, d, e.randCustomer()), e.pad(rowCustomer))
 	}
 }
 
@@ -191,7 +221,7 @@ func (e *Engine) deliveryTx(w int) {
 // and read the stock rows of their items.
 func (e *Engine) stockLevelTx(w int) {
 	d := e.randDistrict()
-	e.district.Get(keyDistrict(w, d))
+	e.get(e.district, keyDistrict(w, d))
 	last := e.lastOID(w, d)
 	lo := uint64(1)
 	if last > 20 {
@@ -200,7 +230,7 @@ func (e *Engine) stockLevelTx(w int) {
 	// Items are padding, so item ids are sampled deterministically from the
 	// keys; insertion order is kept so the run is reproducible.
 	distinct := make([]int, 0, 40)
-	e.orderLine.Scan(keyOrderLine(w, d, lo, 0), keyOrderLine(w, d, last, 15),
+	e.scanT(e.orderLine, keyOrderLine(w, d, lo, 0), keyOrderLine(w, d, last, 15),
 		func(k uint64, _ []byte) bool {
 			item := int(k%uint64(e.cfg.Items)) + 1
 			for _, seen := range distinct {
@@ -212,24 +242,30 @@ func (e *Engine) stockLevelTx(w int) {
 			return len(distinct) < 40
 		})
 	for _, i := range distinct {
-		e.stock.Get(keyStock(w, i))
+		e.get(e.stock, keyStock(w, i))
 	}
 }
 
 // Trace returns the page-write trace of the run phase: the writes issued
 // after the initial load, over the page universe allocated so far. The
-// preload set is the database as of the end of load.
+// preload set is the database as of the end of load. Only the in-memory
+// backend records a trace.
 func (e *Engine) Trace() *trace.Trace {
+	if e.pool == nil {
+		panic(fmt.Sprintf("tpcc: Trace() on an engine with an external backend (%T)", e.be))
+	}
 	e.pool.FlushDirty()
 	all := e.pool.Writes()
 	return &trace.Trace{
 		Universe: int(e.pool.MaxPageID()),
-		Preload:  e.loadPages,
-		Writes:   all[e.loadWrites:],
+		Preload:  e.sh.loadPages,
+		Writes:   all[e.sh.loadWrites:],
 	}
 }
 
-// Stats summarizes an engine run.
+// Stats summarizes an engine run. Pool, LoadPages, TotalPages and RunWrites
+// describe the in-memory backend and are zero for external backends (whose
+// own Stats cover the storage side).
 type Stats struct {
 	Pool       bufferpool.Stats
 	LoadPages  int
@@ -240,11 +276,23 @@ type Stats struct {
 
 // Stats returns engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Pool:       e.pool.Stats(),
-		LoadPages:  e.loadPages,
-		TotalPages: int(e.pool.MaxPageID()),
-		TxCounts:   e.txCounts,
-		RunWrites:  len(e.pool.Writes()) - e.loadWrites,
+	st := Stats{LoadPages: e.sh.loadPages}
+	for i := range st.TxCounts {
+		st.TxCounts[i] = e.sh.txCounts[i].Load()
 	}
+	if e.pool != nil {
+		st.Pool = e.pool.Stats()
+		st.TotalPages = int(e.pool.MaxPageID())
+		st.RunWrites = len(e.pool.Writes()) - e.sh.loadWrites
+	}
+	return st
+}
+
+// TxTotal sums the per-type transaction counts of a Stats snapshot.
+func (s Stats) TxTotal() uint64 {
+	var n uint64
+	for _, c := range s.TxCounts {
+		n += c
+	}
+	return n
 }

@@ -68,6 +68,7 @@ import (
 	"repro/internal/cleaner"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/pagedb"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/vlog"
@@ -96,6 +97,10 @@ var (
 	// writes are spread across frequency-banded append streams (the §5.3
 	// separation realized as routing, which the live engines can execute).
 	MDCRouted = core.MDCRouted
+	// MDCRoutedAdaptive is MDCRouted with band boundaries fitted to the
+	// observed update-interval distribution instead of the static log2
+	// compression, so mild skew still spreads across every stream.
+	MDCRoutedAdaptive = core.MDCRoutedAdaptive
 	// Age cleans the oldest segment (LFS circular buffer).
 	Age = core.Age
 	// Greedy cleans the emptiest segment.
@@ -234,6 +239,36 @@ type (
 	// floor, then blocks.
 	RampPacer = cleaner.RampPacer
 )
+
+// Durable B+-tree database engine on the page store.
+type (
+	// PageDB is a durable keyed database: named B+-trees whose nodes live
+	// as pages in a log-structured Store, faulted through a buffer pool and
+	// committed as atomic batches. Open recovers every tree from the store
+	// (metadata page + crash-atomic commits). See internal/pagedb.
+	PageDB = pagedb.DB
+	// PageDBOptions configures OpenPageDB: the backing StoreOptions
+	// (directory, geometry, cleaning algorithm, durability) plus the
+	// node-cache size.
+	PageDBOptions = pagedb.Options
+	// PageDBStats is the layered snapshot: node cache, backing store
+	// (cleaner and streams included), commit counters.
+	PageDBStats = pagedb.Stats
+	// PageTree is one named B+-tree of a PageDB (Get/Put/Delete/Scan).
+	PageTree = pagedb.Tree
+)
+
+// OpenPageDB creates or recovers a durable B+-tree database on a
+// log-structured page store:
+//
+//	db, _ := repro.OpenPageDB(repro.PageDBOptions{
+//		Store: repro.StoreOptions{Dir: dir, Durability: repro.DurCommit,
+//			BackgroundClean: true, Algorithm: repro.MDCRouted()},
+//	})
+//	users, _ := db.Tree("users")
+//	users.Put(42, profile)
+//	db.Commit() // one atomic, group-fsynced batch
+func OpenPageDB(opts PageDBOptions) (*PageDB, error) { return pagedb.Open(opts) }
 
 // In-memory value-log KV store (variable-size records).
 type (

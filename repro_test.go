@@ -100,6 +100,57 @@ func TestFacadeStore(t *testing.T) {
 	}
 }
 
+func TestFacadePageDB(t *testing.T) {
+	dir := t.TempDir()
+	opts := PageDBOptions{
+		Store: StoreOptions{Dir: dir, PageSize: 512, SegmentPages: 16, MaxSegments: 64,
+			Durability: DurCommit, Algorithm: MDCRoutedAdaptive()},
+		CachePages: 32,
+	}
+	db, err := OpenPageDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := db.Tree("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 300; k++ {
+		if err := users.Put(k, []byte("profile")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := users.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.Commits == 0 || st.Store.LivePages == 0 {
+		t.Errorf("pagedb stats not surfaced: %+v", st)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery through the facade.
+	db2, err := OpenPageDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	users2, err := db2.Tree("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if users2.Len() != 300 {
+		t.Fatalf("recovered %d keys, want 300", users2.Len())
+	}
+	v, ok, err := users2.Get(7)
+	if err != nil || !ok || string(v) != "profile" {
+		t.Fatalf("Get after reopen: %q %v %v", v, ok, err)
+	}
+}
+
 func TestFacadeKV(t *testing.T) {
 	kv, err := NewKV(KVOptions{SegmentBytes: 4096, MaxSegments: 32, Durability: DurCommit})
 	if err != nil {
