@@ -30,12 +30,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig3, fig4, fig5, fig6, cleaner, routing, batching, tpcc")
 	scaleName := flag.String("scale", "medium", "geometry preset: small, medium, paper")
 	format := flag.String("format", "md", "output format: md, csv")
+	fill := flag.Float64("fill", 0, "tpcc only: target sealed-region fill factor (0 = default 0.6; routed placement is predicted to pay at 0.8+)")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
 	flag.Parse()
 
 	scale, err := experiments.ParseScale(*scaleName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *fill != 0 && (*fill <= 0.1 || *fill > 0.95) {
+		log.Fatalf("-fill %.2f outside (0.1, 0.95]", *fill)
 	}
 	var progress io.Writer
 	if *verbose {
@@ -79,7 +83,12 @@ func main() {
 		// Beyond the paper: TPC-C replayed end-to-end against the durable
 		// B+-tree engine (pagedb) on the page store — the paper's B-tree
 		// page-store setting executed live instead of via recorded traces.
-		tables = append(tables, experiments.TPCCDurable(scale, progress))
+		// -fill sweeps the sealed-region fill the geometry targets.
+		if *fill != 0 {
+			tables = append(tables, experiments.TPCCDurableAt(scale, *fill, progress))
+		} else {
+			tables = append(tables, experiments.TPCCDurable(scale, progress))
+		}
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

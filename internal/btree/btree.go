@@ -1,24 +1,31 @@
 // Package btree implements a page-based B+-tree storage engine: the kind of
 // engine the paper ran TPC-C against to collect its I/O traces (§6.3).
 //
-// Nodes are sized by a byte budget derived from the page size, so fanout and
-// page-write patterns track a real disk layout, while node contents stay as
-// Go values: the buffer pool in front of the tree records which pages are
-// read and dirtied, and the resulting page-write trace — not the bytes — is
-// what the log-structure simulator consumes.
+// There is exactly ONE tree algorithm in this repository — the Core of
+// core.go, written against node ids and a fallible NodeStore accessor — and
+// two stores instantiate it:
 //
-// Every node access is routed through the pool: reads Touch the node's page,
-// mutations Dirty it. Structural changes (splits, merges, root changes)
-// allocate and free page ids through the pool's allocator so that all trees
-// of a database share one page id space.
+//   - the infallible in-memory store of this file, behind Tree: node
+//     contents stay as Go values, sized by a byte budget derived from the
+//     page size so fanout and page-write patterns track a real disk layout.
+//     The buffer pool in front of the tree records which pages are read and
+//     dirtied, and the resulting page-write trace — not the bytes — is what
+//     the log-structure simulator consumes;
+//   - internal/pagedb's store-backed node cache, where Fetch faults NodePage
+//     images in from the log-structured store and MarkDirty feeds the commit
+//     batch.
+//
+// Every node access is routed through the pool: fetches Touch the node's
+// page, mutations Dirty it. Structural changes (splits, merges, root
+// changes) allocate and free page ids through the pool's allocator so that
+// all trees of a database share one page id space.
 package btree
 
 import "fmt"
 
-// Pager is the page-cache surface the tree drives: residency/replacement
-// tracking (Touch/Dirty) and page id allocation shared by all trees of a
-// database. *bufferpool.Pool implements it; internal/pagedb wraps one with
-// store-backed faulting and write-back.
+// Pager is the page-cache surface the in-memory store drives: residency/
+// replacement tracking (Touch/Dirty) and page id allocation shared by all
+// trees of a database. *bufferpool.Pool implements it.
 type Pager interface {
 	// Allocate returns a fresh page id, resident and dirty.
 	Allocate() uint32
@@ -30,36 +37,22 @@ type Pager interface {
 	Dirty(id uint32)
 }
 
-// nodeHeaderBytes models the per-page header of a disk layout (LSN, page
-// type, counts, sibling pointer).
-const nodeHeaderBytes = 48
-
-// leafEntryOverhead is the per-entry cost in a leaf beyond the value bytes:
-// key (8) plus slot/length bookkeeping.
-const leafEntryOverhead = 14
-
-// innerEntryBytes is the per-entry cost in an interior node: separator key
-// (8) plus child page id and slot bookkeeping.
-const innerEntryBytes = 12
-
-// Tree is a B+-tree keyed by uint64 with opaque []byte values.
-type Tree struct {
-	pool     Pager
-	pageSize int
-	root     *node
-	height   int
-	count    int
-	first    *node // leftmost leaf, head of the leaf chain
+// seeder is the optional allocator-seeding surface of a Pager
+// (*bufferpool.Pool has it): a fresh pool is seeded to start allocation at
+// page id 1, reserving id 0 as the Core's nil leaf-chain link.
+type seeder interface {
+	MaxPageID() uint32
+	Resident() int
+	Seed(nextID uint32, free []uint32)
 }
 
-type node struct {
-	id     uint32
-	leaf   bool
-	keys   []uint64
-	vals   [][]byte // leaf payloads
-	kids   []*node  // interior children
-	next   *node    // leaf chain
-	nbytes int      // current byte usage excluding header
+// Tree is a B+-tree keyed by uint64 with opaque []byte values: the unified
+// Core instantiated over the infallible in-memory store. Operations cannot
+// fail, so the historical error-free API is preserved; an error out of the
+// store would be a corruption bug and panics.
+type Tree struct {
+	core  *Core
+	store *memStore
 }
 
 // New creates an empty tree whose pages live in pool and are budgeted at
@@ -68,354 +61,105 @@ func New(pool Pager, pageSize int) *Tree {
 	if pageSize < 256 {
 		panic(fmt.Sprintf("btree: page size %d too small", pageSize))
 	}
-	t := &Tree{pool: pool, pageSize: pageSize}
-	t.root = t.newNode(true)
-	t.first = t.root
-	t.height = 1
-	return t
+	if s, ok := pool.(seeder); ok && s.MaxPageID() == 0 && s.Resident() == 0 {
+		// Reserve page id 0 as the nil link before the first allocation.
+		s.Seed(1, nil)
+	}
+	store := &memStore{pool: pool}
+	core, err := NewCore(store, pageSize, MemLayout)
+	if err != nil {
+		panic(fmt.Sprintf("btree: %v", err)) // unreachable: memStore is infallible
+	}
+	return &Tree{core: core, store: store}
 }
-
-func (t *Tree) newNode(leaf bool) *node {
-	return &node{id: t.pool.Allocate(), leaf: leaf}
-}
-
-func (t *Tree) budget() int { return t.pageSize - nodeHeaderBytes }
-
-func leafEntryBytes(v []byte) int { return leafEntryOverhead + len(v) }
 
 // Len returns the number of keys stored.
-func (t *Tree) Len() int { return t.count }
+func (t *Tree) Len() int { return t.core.Len() }
 
 // Height returns the tree height (1 for a lone leaf).
-func (t *Tree) Height() int { return t.height }
-
-// search returns the index of the first key >= k.
-func search(keys []uint64, k uint64) int {
-	lo, hi := 0, len(keys)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if keys[mid] < k {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
-// childIndex returns which child of an interior node covers key k. Interior
-// nodes hold len(kids)-1 separator keys; separator i is the smallest key in
-// kids[i+1]'s subtree.
-func (n *node) childIndex(k uint64) int {
-	idx := search(n.keys, k)
-	if idx < len(n.keys) && n.keys[idx] == k {
-		return idx + 1
-	}
-	return idx
-}
+func (t *Tree) Height() int { return t.core.Height() }
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key uint64) ([]byte, bool) {
-	n := t.root
-	for {
-		t.pool.Touch(n.id)
-		if n.leaf {
-			i := search(n.keys, key)
-			if i < len(n.keys) && n.keys[i] == key {
-				return n.vals[i], true
-			}
-			return nil, false
-		}
-		n = n.kids[n.childIndex(key)]
+	v, ok, err := t.core.Get(key)
+	if err != nil {
+		panic(fmt.Sprintf("btree: %v", err))
 	}
+	return v, ok
 }
 
-// Insert stores value under key, replacing any existing value.
+// Insert stores value under key, replacing any existing value. The value
+// slice is retained, not copied.
 func (t *Tree) Insert(key uint64, value []byte) {
-	if leafEntryBytes(value)*3 > t.budget() {
-		panic(fmt.Sprintf("btree: value of %d bytes does not fit 3 per %d-byte page", len(value), t.pageSize))
+	if MemLayout.LeafEntry(value)*3 > t.core.Budget() {
+		panic(fmt.Sprintf("btree: value of %d bytes does not fit 3 per %d-byte page", len(value), t.core.pageSize))
 	}
-	split, sepKey := t.insert(t.root, key, value)
-	if split != nil {
-		// Root split: grow the tree by one level.
-		newRoot := t.newNode(false)
-		newRoot.keys = []uint64{sepKey}
-		newRoot.kids = []*node{t.root, split}
-		newRoot.nbytes = innerEntryBytes * 2
-		t.root = newRoot
-		t.height++
-		t.pool.Dirty(newRoot.id)
+	if _, err := t.core.Insert(key, value); err != nil {
+		panic(fmt.Sprintf("btree: %v", err))
 	}
 }
 
-// insert descends to a leaf; on overflow it splits and returns the new right
-// sibling plus its separator key.
-func (t *Tree) insert(n *node, key uint64, value []byte) (*node, uint64) {
-	if n.leaf {
-		t.pool.Dirty(n.id)
-		i := search(n.keys, key)
-		if i < len(n.keys) && n.keys[i] == key {
-			n.nbytes += len(value) - len(n.vals[i])
-			n.vals[i] = value
-		} else {
-			n.keys = append(n.keys, 0)
-			copy(n.keys[i+1:], n.keys[i:])
-			n.keys[i] = key
-			n.vals = append(n.vals, nil)
-			copy(n.vals[i+1:], n.vals[i:])
-			n.vals[i] = value
-			n.nbytes += leafEntryBytes(value)
-			t.count++
-		}
-		if n.nbytes > t.budget() {
-			return t.splitLeaf(n)
-		}
-		return nil, 0
+// Delete removes key, rebalancing on the way back up. It reports whether
+// the key existed.
+func (t *Tree) Delete(key uint64) bool {
+	deleted, err := t.core.Delete(key)
+	if err != nil {
+		panic(fmt.Sprintf("btree: %v", err))
 	}
-
-	t.pool.Touch(n.id)
-	ci := n.childIndex(key)
-	split, sepKey := t.insert(n.kids[ci], key, value)
-	if split == nil {
-		return nil, 0
-	}
-	t.pool.Dirty(n.id)
-	n.keys = append(n.keys, 0)
-	copy(n.keys[ci+1:], n.keys[ci:])
-	n.keys[ci] = sepKey
-	n.kids = append(n.kids, nil)
-	copy(n.kids[ci+2:], n.kids[ci+1:])
-	n.kids[ci+1] = split
-	n.nbytes += innerEntryBytes
-	if n.nbytes > t.budget() {
-		return t.splitInner(n)
-	}
-	return nil, 0
-}
-
-// splitLeaf moves the upper half (by bytes) of a leaf into a new right
-// sibling and returns it with its separator (the sibling's first key).
-func (t *Tree) splitLeaf(n *node) (*node, uint64) {
-	half := n.nbytes / 2
-	acc, cut := 0, 0
-	for i := range n.keys {
-		acc += leafEntryBytes(n.vals[i])
-		if acc > half {
-			cut = i + 1
-			break
-		}
-	}
-	if cut == 0 || cut >= len(n.keys) {
-		cut = len(n.keys) / 2
-	}
-	right := t.newNode(true)
-	right.keys = append(right.keys, n.keys[cut:]...)
-	right.vals = append(right.vals, n.vals[cut:]...)
-	for i := range right.vals {
-		right.nbytes += leafEntryBytes(right.vals[i])
-	}
-	n.keys = n.keys[:cut]
-	n.vals = n.vals[:cut]
-	n.nbytes -= right.nbytes
-	right.next = n.next
-	n.next = right
-	t.pool.Dirty(n.id)
-	t.pool.Dirty(right.id)
-	return right, right.keys[0]
-}
-
-// splitInner moves the upper half of an interior node into a new right
-// sibling; the middle separator moves up.
-func (t *Tree) splitInner(n *node) (*node, uint64) {
-	mid := len(n.keys) / 2
-	sep := n.keys[mid]
-	right := t.newNode(false)
-	right.keys = append(right.keys, n.keys[mid+1:]...)
-	right.kids = append(right.kids, n.kids[mid+1:]...)
-	right.nbytes = innerEntryBytes * len(right.kids)
-	n.keys = n.keys[:mid]
-	n.kids = n.kids[:mid+1]
-	n.nbytes = innerEntryBytes * len(n.kids)
-	t.pool.Dirty(n.id)
-	t.pool.Dirty(right.id)
-	return right, sep
+	return deleted
 }
 
 // Scan visits keys in [from, to] in order, stopping early if fn returns
 // false.
 func (t *Tree) Scan(from, to uint64, fn func(key uint64, value []byte) bool) {
-	n := t.root
-	for !n.leaf {
-		t.pool.Touch(n.id)
-		n = n.kids[n.childIndex(from)]
-	}
-	for n != nil {
-		t.pool.Touch(n.id)
-		for i, k := range n.keys {
-			if k < from {
-				continue
-			}
-			if k > to {
-				return
-			}
-			if !fn(k, n.vals[i]) {
-				return
-			}
-		}
-		n = n.next
+	if err := t.core.Scan(from, to, fn); err != nil {
+		panic(fmt.Sprintf("btree: %v", err))
 	}
 }
 
-// Delete removes key, rebalancing on the way back up. It reports whether the
-// key existed.
-func (t *Tree) Delete(key uint64) bool {
-	deleted := t.delete(t.root, key)
-	if !deleted {
-		return false
-	}
-	// Collapse a root holding a single child.
-	for !t.root.leaf && len(t.root.kids) == 1 {
-		old := t.root
-		t.root = t.root.kids[0]
-		t.pool.FreePage(old.id)
-		t.height--
-	}
-	return true
+// CheckInvariants validates the tree's structural invariants (Core.Check).
+func (t *Tree) CheckInvariants() error { return t.core.Check() }
+
+// memStore is the infallible in-memory NodeStore: nodes are Go values held
+// in a slice indexed by page id (dense — the pool allocates ids
+// sequentially), and residency/replacement is delegated to the Pager. A
+// "miss" cannot happen: the slice IS the storage; the pool only models
+// which pages would be resident, producing the page-write trace.
+type memStore struct {
+	pool  Pager
+	nodes []*Node // indexed by id; nil = not this tree's node
 }
 
-func (t *Tree) delete(n *node, key uint64) bool {
-	if n.leaf {
-		i := search(n.keys, key)
-		if i >= len(n.keys) || n.keys[i] != key {
-			t.pool.Touch(n.id)
-			return false
-		}
-		t.pool.Dirty(n.id)
-		n.nbytes -= leafEntryBytes(n.vals[i])
-		n.keys = append(n.keys[:i], n.keys[i+1:]...)
-		n.vals = append(n.vals[:i], n.vals[i+1:]...)
-		t.count--
-		return true
+func (s *memStore) Alloc() (uint32, error) {
+	id := s.pool.Allocate()
+	if id == 0 {
+		// The pool was not seedable and handed out the reserved nil id;
+		// burn it (it stays out of circulation) and take the next.
+		id = s.pool.Allocate()
 	}
-
-	t.pool.Touch(n.id)
-	ci := n.childIndex(key)
-	child := n.kids[ci]
-	if !t.delete(child, key) {
-		return false
+	for int(id) >= len(s.nodes) {
+		s.nodes = append(s.nodes, nil)
 	}
-	if child.nbytes*4 < t.budget() {
-		t.rebalance(n, ci)
-	}
-	return true
+	s.nodes[id] = &Node{ID: id}
+	return id, nil
 }
 
-// rebalance fixes up child ci of parent n after it dropped below the fill
-// threshold: borrow from a richer sibling, else merge with a neighbor.
-func (t *Tree) rebalance(n *node, ci int) {
-	child := n.kids[ci]
-
-	// Prefer borrowing from the left sibling, then the right.
-	if ci > 0 {
-		left := n.kids[ci-1]
-		if left.nbytes*2 > t.budget() {
-			t.borrowFromLeft(n, ci)
-			return
+func (s *memStore) Fetch(id uint32) (*Node, error) {
+	if nodes := s.nodes; int(id) < len(nodes) {
+		if n := nodes[id]; n != nil {
+			s.pool.Touch(id)
+			return n, nil
 		}
 	}
-	if ci+1 < len(n.kids) {
-		right := n.kids[ci+1]
-		if right.nbytes*2 > t.budget() {
-			t.borrowFromRight(n, ci)
-			return
-		}
-	}
-	// Merge with a neighbor if the combined node fits.
-	if ci > 0 && n.kids[ci-1].nbytes+child.nbytes+innerEntryBytes <= t.budget() {
-		t.merge(n, ci-1)
-		return
-	}
-	if ci+1 < len(n.kids) && child.nbytes+n.kids[ci+1].nbytes+innerEntryBytes <= t.budget() {
-		t.merge(n, ci)
-	}
-	// Otherwise leave it: with byte-based budgets a node can be below the
-	// threshold while neither borrow nor merge is possible.
+	return nil, fmt.Errorf("node %d is not part of this tree", id)
 }
 
-func (t *Tree) borrowFromLeft(n *node, ci int) {
-	child, left := n.kids[ci], n.kids[ci-1]
-	t.pool.Dirty(n.id)
-	t.pool.Dirty(child.id)
-	t.pool.Dirty(left.id)
-	if child.leaf {
-		k := left.keys[len(left.keys)-1]
-		v := left.vals[len(left.vals)-1]
-		left.keys = left.keys[:len(left.keys)-1]
-		left.vals = left.vals[:len(left.vals)-1]
-		left.nbytes -= leafEntryBytes(v)
-		child.keys = append([]uint64{k}, child.keys...)
-		child.vals = append([][]byte{v}, child.vals...)
-		child.nbytes += leafEntryBytes(v)
-		n.keys[ci-1] = k
-		return
-	}
-	k := left.keys[len(left.keys)-1]
-	kid := left.kids[len(left.kids)-1]
-	left.keys = left.keys[:len(left.keys)-1]
-	left.kids = left.kids[:len(left.kids)-1]
-	left.nbytes -= innerEntryBytes
-	child.keys = append([]uint64{n.keys[ci-1]}, child.keys...)
-	child.kids = append([]*node{kid}, child.kids...)
-	child.nbytes += innerEntryBytes
-	n.keys[ci-1] = k
-}
+func (s *memStore) MarkDirty(id uint32) { s.pool.Dirty(id) }
 
-func (t *Tree) borrowFromRight(n *node, ci int) {
-	child, right := n.kids[ci], n.kids[ci+1]
-	t.pool.Dirty(n.id)
-	t.pool.Dirty(child.id)
-	t.pool.Dirty(right.id)
-	if child.leaf {
-		k := right.keys[0]
-		v := right.vals[0]
-		right.keys = right.keys[1:]
-		right.vals = right.vals[1:]
-		right.nbytes -= leafEntryBytes(v)
-		child.keys = append(child.keys, k)
-		child.vals = append(child.vals, v)
-		child.nbytes += leafEntryBytes(v)
-		n.keys[ci] = right.keys[0]
-		return
+func (s *memStore) Free(id uint32) error {
+	if int(id) < len(s.nodes) {
+		s.nodes[id] = nil
 	}
-	k := right.keys[0]
-	kid := right.kids[0]
-	right.keys = right.keys[1:]
-	right.kids = right.kids[1:]
-	right.nbytes -= innerEntryBytes
-	child.keys = append(child.keys, n.keys[ci])
-	child.kids = append(child.kids, kid)
-	child.nbytes += innerEntryBytes
-	n.keys[ci] = k
-}
-
-// merge folds child ci+1 of n into child ci and frees its page.
-func (t *Tree) merge(n *node, ci int) {
-	left, right := n.kids[ci], n.kids[ci+1]
-	t.pool.Dirty(n.id)
-	t.pool.Dirty(left.id)
-	if left.leaf {
-		left.keys = append(left.keys, right.keys...)
-		left.vals = append(left.vals, right.vals...)
-		left.nbytes += right.nbytes
-		left.next = right.next
-	} else {
-		left.keys = append(left.keys, n.keys[ci])
-		left.keys = append(left.keys, right.keys...)
-		left.kids = append(left.kids, right.kids...)
-		left.nbytes += right.nbytes + innerEntryBytes
-	}
-	t.pool.FreePage(right.id)
-	n.keys = append(n.keys[:ci], n.keys[ci+1:]...)
-	n.kids = append(n.kids[:ci+1], n.kids[ci+2:]...)
-	n.nbytes -= innerEntryBytes
+	s.pool.FreePage(id)
+	return nil
 }

@@ -265,7 +265,11 @@ func TestPageSizeValidation(t *testing.T) {
 	New(bufferpool.New(10), 64)
 }
 
-func BenchmarkInsert(b *testing.B) {
+// BenchmarkTreePut/Get/Scan measure the in-memory instantiation of the
+// unified core (internal/pagedb mirrors them for the durable one), guarding
+// the cost of the NodeStore indirection on the hot path.
+
+func BenchmarkTreePut(b *testing.B) {
 	pool := bufferpool.New(1 << 20)
 	tr := New(pool, 4096)
 	v := make([]byte, 64)
@@ -275,7 +279,7 @@ func BenchmarkInsert(b *testing.B) {
 	}
 }
 
-func BenchmarkGet(b *testing.B) {
+func BenchmarkTreeGet(b *testing.B) {
 	pool := bufferpool.New(1 << 20)
 	tr := New(pool, 4096)
 	v := make([]byte, 64)
@@ -285,6 +289,23 @@ func BenchmarkGet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Get(uint64(i) % 100000)
+	}
+}
+
+func BenchmarkTreeScan(b *testing.B) {
+	pool := bufferpool.New(1 << 20)
+	tr := New(pool, 4096)
+	v := make([]byte, 64)
+	for i := uint64(0); i < 100000; i++ {
+		tr.Insert(i, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Scan(0, ^uint64(0), func(uint64, []byte) bool {
+			n++
+			return n < 1000
+		})
 	}
 }
 

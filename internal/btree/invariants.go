@@ -2,53 +2,79 @@ package btree
 
 import "fmt"
 
-// CheckPageTree validates the same structural invariants as CheckInvariants
-// for a PAGE-ID based tree (a durable tree whose nodes are NodePage images,
-// e.g. internal/pagedb): sorted and bounded keys, uniform leaf depth equal
-// to height, page images within pageSize, a leaf chain (Next links from the
-// leftmost leaf) that visits exactly the leaves left to right, and a total
-// entry count of count. fetch materializes one node by page id.
-func CheckPageTree(fetch func(id uint32) (*NodePage, error), root uint32, height, count, pageSize int) error {
+// Check validates the structural invariants of the tree and returns the
+// first violation. It is the one checker both instantiations share (the
+// in-memory Tree and pagedb's durable trees run the identical rules):
+//
+//  1. Keys are strictly increasing within every node and across the whole
+//     key space (in-order traversal is sorted).
+//  2. Branch separator keys bound their subtrees: every key in kids[i] is
+//     < keys[i], every key in kids[i+1] is >= keys[i].
+//  3. All leaves sit at the same depth, equal to Height().
+//  4. No node is reachable twice (no cycles, no shared children).
+//  5. Byte accounting matches the Layout's costs, and no node exceeds its
+//     budget (for PageLayout this implies every page image fits the page).
+//  6. The leaf chain (Next links from the leftmost leaf) visits exactly the
+//     leaves, left to right, and terminates.
+//  7. Len() equals the number of leaf entries.
+func (c *Core) Check() error {
 	leaves := make([]uint32, 0, 64)
 	entries := 0
 	visited := make(map[uint32]bool)
 	var walk func(id uint32, depth int, lo, hi uint64, hasLo, hasHi bool) error
 	walk = func(id uint32, depth int, lo, hi uint64, hasLo, hasHi bool) error {
 		if visited[id] {
-			return fmt.Errorf("page %d reachable twice (cycle or shared child)", id)
+			return fmt.Errorf("node %d reachable twice (cycle or shared child)", id)
 		}
 		visited[id] = true
-		n, err := fetch(id)
+		n, err := c.store.Fetch(id)
 		if err != nil {
-			return fmt.Errorf("fetching page %d: %w", id, err)
+			return fmt.Errorf("fetching node %d: %w", id, err)
 		}
 		for i, k := range n.Keys {
 			if i > 0 && n.Keys[i-1] >= k {
-				return fmt.Errorf("page %d: keys out of order at %d", id, i)
+				return fmt.Errorf("node %d: keys out of order at %d", id, i)
 			}
 			if hasLo && k < lo {
-				return fmt.Errorf("page %d: key %d below subtree bound %d", id, k, lo)
+				return fmt.Errorf("node %d: key %d below subtree bound %d", id, k, lo)
 			}
 			if hasHi && k >= hi {
-				return fmt.Errorf("page %d: key %d above subtree bound %d", id, k, hi)
+				return fmt.Errorf("node %d: key %d above subtree bound %d", id, k, hi)
 			}
 		}
-		if sz := n.EncodedBytes(); sz > pageSize {
-			return fmt.Errorf("page %d: image of %d bytes exceeds page size %d", id, sz, pageSize)
-		}
 		if n.Leaf {
-			if depth != height {
-				return fmt.Errorf("leaf %d at depth %d, height is %d", id, depth, height)
+			if depth != c.height {
+				return fmt.Errorf("leaf %d at depth %d, height is %d", id, depth, c.height)
 			}
 			if len(n.Vals) != len(n.Keys) {
 				return fmt.Errorf("leaf %d: %d keys but %d values", id, len(n.Keys), len(n.Vals))
+			}
+			nb := 0
+			for _, v := range n.Vals {
+				nb += c.layout.LeafEntry(v)
+			}
+			if nb != n.NBytes {
+				return fmt.Errorf("leaf %d: accounted %d bytes, actual %d", id, n.NBytes, nb)
+			}
+			if nb > c.budget {
+				return fmt.Errorf("leaf %d: %d bytes over budget %d", id, nb, c.budget)
 			}
 			leaves = append(leaves, id)
 			entries += len(n.Keys)
 			return nil
 		}
+		if n.Next != 0 {
+			return fmt.Errorf("branch %d carries a leaf chain link %d", id, n.Next)
+		}
 		if len(n.Kids) != len(n.Keys)+1 {
 			return fmt.Errorf("branch %d: %d kids for %d keys", id, len(n.Kids), len(n.Keys))
+		}
+		nb := c.layout.BranchEntryBytes * len(n.Kids)
+		if nb != n.NBytes {
+			return fmt.Errorf("branch %d: accounted %d bytes, actual %d", id, n.NBytes, nb)
+		}
+		if nb > c.budget {
+			return fmt.Errorf("branch %d: %d bytes over budget %d", id, nb, c.budget)
 		}
 		for i, kid := range n.Kids {
 			clo, chasLo := lo, hasLo
@@ -65,11 +91,11 @@ func CheckPageTree(fetch func(id uint32) (*NodePage, error), root uint32, height
 		}
 		return nil
 	}
-	if err := walk(root, 1, 0, 0, false, false); err != nil {
+	if err := walk(c.root, 1, 0, 0, false, false); err != nil {
 		return err
 	}
-	if entries != count {
-		return fmt.Errorf("tree claims %d entries but traversal found %d", count, entries)
+	if entries != c.count {
+		return fmt.Errorf("tree claims %d entries but traversal found %d", c.count, entries)
 	}
 	// The leaf chain agrees with the traversal order and terminates.
 	id := leaves[0]
@@ -78,112 +104,48 @@ func CheckPageTree(fetch func(id uint32) (*NodePage, error), root uint32, height
 			return fmt.Errorf("leaf chain ends after %d of %d leaves", i, len(leaves))
 		}
 		if id != want {
-			return fmt.Errorf("leaf chain diverges at position %d (page %d != %d)", i, id, want)
+			return fmt.Errorf("leaf chain diverges at position %d (node %d != %d)", i, id, want)
 		}
-		n, err := fetch(id)
+		n, err := c.store.Fetch(id)
 		if err != nil {
 			return fmt.Errorf("fetching chain leaf %d: %w", id, err)
 		}
 		id = n.Next
 	}
 	if id != 0 {
-		return fmt.Errorf("leaf chain longer than traversal (extra page %d)", id)
+		return fmt.Errorf("leaf chain longer than traversal (extra node %d)", id)
 	}
 	return nil
 }
 
-// CheckInvariants validates the structural invariants of the tree and
-// returns the first violation:
-//
-//  1. Keys are strictly increasing within every node and across the whole
-//     key space (in-order traversal is sorted).
-//  2. Interior separator keys bound their subtrees: every key in kids[i] is
-//     < keys[i], every key in kids[i+1] is >= keys[i].
-//  3. All leaves sit at the same depth, equal to Height().
-//  4. Byte accounting matches the entries, and no node exceeds its budget.
-//  5. The leaf chain visits exactly the leaves, left to right.
-//  6. Len() equals the number of leaf entries.
-func (t *Tree) CheckInvariants() error {
-	leaves := make([]*node, 0, 64)
-	count := 0
-	var walk func(n *node, depth int, lo, hi uint64, hasLo, hasHi bool) error
-	walk = func(n *node, depth int, lo, hi uint64, hasLo, hasHi bool) error {
-		nb := 0
-		for i, k := range n.keys {
-			if i > 0 && n.keys[i-1] >= k {
-				return fmt.Errorf("node %d: keys out of order at %d", n.id, i)
-			}
-			if hasLo && k < lo {
-				return fmt.Errorf("node %d: key %d below subtree bound %d", n.id, k, lo)
-			}
-			if hasHi && k >= hi {
-				return fmt.Errorf("node %d: key %d above subtree bound %d", n.id, k, hi)
-			}
-		}
-		if n.leaf {
-			if depth != t.height {
-				return fmt.Errorf("leaf %d at depth %d, height is %d", n.id, depth, t.height)
-			}
-			if len(n.vals) != len(n.keys) {
-				return fmt.Errorf("leaf %d: %d keys but %d values", n.id, len(n.keys), len(n.vals))
-			}
-			for _, v := range n.vals {
-				nb += leafEntryBytes(v)
-			}
-			if nb != n.nbytes {
-				return fmt.Errorf("leaf %d: accounted %d bytes, actual %d", n.id, n.nbytes, nb)
-			}
-			if nb > t.budget() {
-				return fmt.Errorf("leaf %d: %d bytes over budget %d", n.id, nb, t.budget())
-			}
-			leaves = append(leaves, n)
-			count += len(n.keys)
-			return nil
-		}
-		if len(n.kids) != len(n.keys)+1 {
-			return fmt.Errorf("inner %d: %d kids for %d keys", n.id, len(n.kids), len(n.keys))
-		}
-		nb = innerEntryBytes * len(n.kids)
-		if nb != n.nbytes {
-			return fmt.Errorf("inner %d: accounted %d bytes, actual %d", n.id, n.nbytes, nb)
-		}
-		if nb > t.budget() {
-			return fmt.Errorf("inner %d: %d bytes over budget %d", n.id, nb, t.budget())
-		}
-		for i, kid := range n.kids {
-			clo, chasLo := lo, hasLo
-			chi, chasHi := hi, hasHi
-			if i > 0 {
-				clo, chasLo = n.keys[i-1], true
-			}
-			if i < len(n.keys) {
-				chi, chasHi = n.keys[i], true
-			}
-			if err := walk(kid, depth+1, clo, chi, chasLo, chasHi); err != nil {
-				return err
-			}
-		}
-		return nil
+// CheckPageTree validates the invariants of a PAGE-ID based tree given only
+// a way to materialize NodePage images — for callers holding raw page
+// images rather than a live Core (offline verification, tests). It adapts
+// fetch into a read-only NodeStore and runs the one shared checker under
+// PageLayout, so NBytes <= budget implies every image fits pageSize.
+func CheckPageTree(fetch func(id uint32) (*NodePage, error), root uint32, height, count, pageSize int) error {
+	return LoadCore(pageFetchStore{fetch}, pageSize, PageLayout, root, height, count).Check()
+}
+
+// pageFetchStore is the read-only NodeStore behind CheckPageTree.
+type pageFetchStore struct {
+	fetch func(id uint32) (*NodePage, error)
+}
+
+func (s pageFetchStore) Alloc() (uint32, error) {
+	return 0, fmt.Errorf("btree: read-only page store cannot allocate")
+}
+
+func (s pageFetchStore) Fetch(id uint32) (*Node, error) {
+	p, err := s.fetch(id)
+	if err != nil {
+		return nil, err
 	}
-	if err := walk(t.root, 1, 0, 0, false, false); err != nil {
-		return err
-	}
-	if count != t.count {
-		return fmt.Errorf("Len() = %d but traversal found %d entries", t.count, count)
-	}
-	// Leaf chain agrees with the traversal order.
-	n := t.first
-	for i, want := range leaves {
-		if n == nil {
-			return fmt.Errorf("leaf chain ends after %d of %d leaves", i, len(leaves))
-		}
-		if n != want {
-			return fmt.Errorf("leaf chain diverges at position %d (page %d != %d)", i, n.id, want.id)
-		}
-		n = n.next
-	}
-	if n != nil {
-		return fmt.Errorf("leaf chain longer than traversal (extra page %d)", n.id)
-	}
-	return nil
+	return NodeOfPage(id, p, PageLayout), nil
+}
+
+func (s pageFetchStore) MarkDirty(uint32) {}
+
+func (s pageFetchStore) Free(uint32) error {
+	return fmt.Errorf("btree: read-only page store cannot free")
 }

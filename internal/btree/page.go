@@ -38,9 +38,13 @@ const (
 	kindBranch = 2
 )
 
+// leafEntryOverheadPage is the encoded per-entry leaf cost beyond the value
+// bytes: key (8) plus value length (2).
+const leafEntryOverheadPage = 10
+
 // LeafEntryBytes is the encoded cost of one leaf entry: key, value length,
 // value bytes.
-func LeafEntryBytes(val []byte) int { return 10 + len(val) }
+func LeafEntryBytes(val []byte) int { return leafEntryOverheadPage + len(val) }
 
 // BranchEntryBytes is the per-child budgeting cost of a branch entry.
 // A branch with k children encodes k-1 keys and k child ids (12k-4 bytes);
@@ -114,6 +118,39 @@ func EncodePage(dst []byte, p *NodePage) error {
 		dst[i] = 0
 	}
 	return nil
+}
+
+// Page returns the node's serializable page image form.
+func (n *Node) Page() *NodePage {
+	return &NodePage{Leaf: n.Leaf, Next: n.Next, Keys: n.Keys, Vals: n.Vals, Kids: n.Kids}
+}
+
+// NodeOfPage materializes a page image as a Core node under the given
+// Layout, rebuilding its byte accounting. The node shares the page's
+// slices.
+func NodeOfPage(id uint32, p *NodePage, l Layout) *Node {
+	n := &Node{ID: id, Leaf: p.Leaf, Keys: p.Keys, Vals: p.Vals, Kids: p.Kids, Next: p.Next}
+	if n.Leaf {
+		for _, v := range n.Vals {
+			n.NBytes += l.LeafEntry(v)
+		}
+	} else {
+		n.NBytes = l.BranchEntryBytes * len(n.Kids)
+	}
+	return n
+}
+
+// EncodeNodeImage serializes a node into dst (one full page).
+func EncodeNodeImage(dst []byte, n *Node) error { return EncodePage(dst, n.Page()) }
+
+// DecodeNodeImage parses a page image straight into a Core node under the
+// given Layout.
+func DecodeNodeImage(id uint32, src []byte, l Layout) (*Node, error) {
+	p, err := DecodePage(src)
+	if err != nil {
+		return nil, err
+	}
+	return NodeOfPage(id, p, l), nil
 }
 
 // DecodePage parses a page image. Values are copied out of src, so the

@@ -98,7 +98,9 @@ func (p *Pool) ClearErr() { p.wbErr = nil }
 
 // Seed restores the allocator state of a reopened database: the next fresh
 // page id and the persisted free list. It must be called on an empty pool,
-// before any allocation or access.
+// before any allocation or access. btree.New also uses it (Seed(1, nil)) to
+// reserve page id 0 on a fresh pool — the unified tree core's nil
+// leaf-chain link, and pagedb's metadata page.
 func (p *Pool) Seed(nextID uint32, free []uint32) {
 	if len(p.frames) != 0 || p.nextID != 0 || len(p.freeIDs) != 0 {
 		panic("bufferpool: Seed on a pool already in use")

@@ -6,57 +6,47 @@ import (
 	"repro/internal/btree"
 )
 
-// dnode is a decoded B+-tree node: the in-memory form of one store page.
-// Decoded nodes live in DB.nodes while the buffer pool considers them
-// resident (plus a grace window until the end of the current operation);
-// their durable form is the btree.NodePage image.
-type dnode struct {
-	id     uint32
-	leaf   bool
-	keys   []uint64
-	vals   [][]byte // leaf payloads
-	kids   []uint32 // branch children page ids
-	next   uint32   // leaf chain successor (0 = none)
-	nbytes int      // byte accounting against budget() (header excluded)
-}
+// This engine holds its decoded B+-tree nodes as btree.Node values — the
+// unified core's node form — in DB.nodes while the buffer pool considers
+// them resident (plus a grace window until the end of the current
+// operation); their durable form is the btree.NodePage image. The tree
+// ALGORITHM lives entirely in internal/btree's Core; this file supplies the
+// store side: the fallible NodeStore that faults nodes through the pool and
+// the log-structured store.
 
 // budget is the per-node byte budget: the page minus the image header.
-func (db *DB) budget() int { return db.pageSize - btree.PageHeaderBytes }
+func (db *DB) budget() int { return btree.PageLayout.Budget(db.pageSize) }
 
-func (n *dnode) page() *btree.NodePage {
-	return &btree.NodePage{Leaf: n.leaf, Next: n.next, Keys: n.keys, Vals: n.vals, Kids: n.kids}
-}
-
-// encode serializes the node into a fresh page image.
-func (n *dnode) encode(pageSize int) ([]byte, error) {
+// encodeNode serializes a node into a fresh page image.
+func encodeNode(pageSize int, n *btree.Node) ([]byte, error) {
 	img := make([]byte, pageSize)
-	if err := btree.EncodePage(img, n.page()); err != nil {
-		return nil, fmt.Errorf("pagedb: encoding page %d: %w", n.id, err)
+	if err := btree.EncodeNodeImage(img, n); err != nil {
+		return nil, fmt.Errorf("pagedb: encoding page %d: %w", n.ID, err)
 	}
 	return img, nil
 }
 
-// decodeNode materializes a page image as a dnode and rebuilds its byte
-// accounting.
-func decodeNode(id uint32, img []byte) (*dnode, error) {
-	p, err := btree.DecodePage(img)
-	if err != nil {
-		return nil, fmt.Errorf("pagedb: decoding page %d: %w", id, err)
-	}
-	n := &dnode{id: id, leaf: p.Leaf, keys: p.Keys, vals: p.Vals, kids: p.Kids, next: p.Next}
-	if n.leaf {
-		for _, v := range n.vals {
-			n.nbytes += btree.LeafEntryBytes(v)
-		}
-	} else {
-		n.nbytes = btree.BranchEntryBytes * len(n.kids)
-	}
-	return n, nil
+// nodeStore adapts the DB's node cache to btree.NodeStore: the unified tree
+// core runs its algorithm against this accessor. Every method runs with
+// db.mu held (the DB serializes tree operations).
+type nodeStore struct{ db *DB }
+
+func (s nodeStore) Alloc() (uint32, error) { return s.db.allocNode().ID, nil }
+
+func (s nodeStore) Fetch(id uint32) (*btree.Node, error) { return s.db.node(id) }
+
+// MarkDirty re-admits a page whose frame was reclaimed mid-operation, so
+// the mutation is never lost.
+func (s nodeStore) MarkDirty(id uint32) { s.db.pool.Dirty(id) }
+
+func (s nodeStore) Free(id uint32) error {
+	s.db.freeNode(id)
+	return nil
 }
 
 // node returns the decoded node for a page id, faulting it in from the
 // pending stage or the store on a cache miss. Caller holds db.mu.
-func (db *DB) node(id uint32) (*dnode, error) {
+func (db *DB) node(id uint32) (*btree.Node, error) {
 	if n, ok := db.nodes[id]; ok {
 		db.pool.Touch(id)
 		return n, nil
@@ -73,29 +63,25 @@ func (db *DB) node(id uint32) (*dnode, error) {
 		}
 		db.faults++
 	}
-	n, err := decodeNode(id, img)
+	n, err := btree.DecodeNodeImage(id, img, btree.PageLayout)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pagedb: decoding page %d: %w", id, err)
 	}
 	db.nodes[id] = n
 	db.pool.Touch(id)
 	return n, nil
 }
 
-// dirty marks a node about to be mutated. It re-admits a page whose frame
-// was reclaimed mid-operation, so the mutation is never lost.
-func (db *DB) dirty(n *dnode) { db.pool.Dirty(n.id) }
-
-// allocNode creates a fresh node on a newly allocated page id (resident and
-// dirty). Caller holds db.mu.
-func (db *DB) allocNode(leaf bool) *dnode {
+// allocNode creates a fresh blank node on a newly allocated page id
+// (resident and dirty); the core stamps its kind. Caller holds db.mu.
+func (db *DB) allocNode() *btree.Node {
 	id := db.pool.Allocate()
 	// A reused id may carry residue from its previous life: a staged image,
 	// a pending free, or a poison mark. All are superseded by reallocation.
 	delete(db.freed, id)
 	delete(db.pending, id)
 	delete(db.encodeFailed, id)
-	n := &dnode{id: id, leaf: leaf}
+	n := &btree.Node{ID: id}
 	db.nodes[id] = n
 	db.metaDirty = true
 	return n
@@ -111,28 +97,4 @@ func (db *DB) freeNode(id uint32) {
 	db.pool.FreePage(id)
 	db.freed[id] = true
 	db.metaDirty = true
-}
-
-// search returns the index of the first key >= k.
-func search(keys []uint64, k uint64) int {
-	lo, hi := 0, len(keys)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if keys[mid] < k {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
-// childIndex returns which child of a branch covers key k (separator i is
-// the smallest key in kids[i+1]'s subtree).
-func (n *dnode) childIndex(k uint64) int {
-	idx := search(n.keys, k)
-	if idx < len(n.keys) && n.keys[idx] == k {
-		return idx + 1
-	}
-	return idx
 }

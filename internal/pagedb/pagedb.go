@@ -50,6 +50,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/btree"
 	"repro/internal/bufferpool"
 	"repro/internal/store"
 )
@@ -66,8 +67,20 @@ var ErrTooLarge = errors.New("pagedb: value too large for page size")
 // ever be allocated there.
 const metaPageID = 0
 
-// metaMagic identifies a pagedb metadata page (format 1).
-const metaMagic = "PGDBMET1"
+// metaMagic identifies a pagedb metadata page (format 2: the free list
+// spills across overflow pages instead of truncating).
+const metaMagic = "PGDBMET2"
+
+// ovfMagic identifies a free-list overflow page chained off the metadata
+// page.
+const ovfMagic = "PGDBOVF1"
+
+// metaOverflowBase is where free-list overflow pages live: overflow page j
+// occupies store page metaOverflowBase+j. The range sits at the top of the
+// page id space, far above anything the sequential allocator can reach, so
+// persisting the free list never has to allocate from the very allocator
+// state it is serializing.
+const metaOverflowBase = 0xFFFF0000
 
 // Options configures Open.
 type Options struct {
@@ -87,9 +100,9 @@ type DB struct {
 	pool     *bufferpool.Pool
 	pageSize int
 
-	nodes   map[uint32]*dnode // decoded nodes, superset of pool residency during an op
-	pending map[uint32][]byte // dirty images evicted since the last commit
-	freed   map[uint32]bool   // pages freed since the last commit
+	nodes   map[uint32]*btree.Node // decoded nodes, superset of pool residency during an op
+	pending map[uint32][]byte      // dirty images evicted since the last commit
+	freed   map[uint32]bool        // pages freed since the last commit
 	// encodeFailed poisons Commit while any page's state cannot be
 	// serialized (an internal invariant failure): a commit that silently
 	// omitted such a page would persist parents referencing a child whose
@@ -101,6 +114,7 @@ type DB struct {
 	order        []string          // registry in creation order (meta determinism)
 
 	metaDirty bool
+	metaOvf   int // free-list overflow pages the last durable meta used
 	closed    bool
 
 	commits      uint64
@@ -135,7 +149,7 @@ func Open(opts Options) (*DB, error) {
 		st:           st,
 		pool:         bufferpool.New(opts.CachePages),
 		pageSize:     pageSize,
-		nodes:        make(map[uint32]*dnode),
+		nodes:        make(map[uint32]*btree.Node),
 		pending:      make(map[uint32][]byte),
 		freed:        make(map[uint32]bool),
 		encodeFailed: make(map[uint32]error),
@@ -180,7 +194,7 @@ func (db *DB) writeBack(id uint32, dirty, evicted bool) error {
 	if !ok {
 		return fmt.Errorf("pagedb: flush of page %d with no decoded node", id)
 	}
-	img, err := n.encode(db.pageSize)
+	img, err := encodeNode(db.pageSize, n)
 	if err != nil {
 		db.encodeFailed[id] = err
 		return err
@@ -219,7 +233,7 @@ func (db *DB) sweepEvictions() error {
 				continue // freed during the operation
 			}
 			if dirty {
-				img, err := n.encode(db.pageSize)
+				img, err := encodeNode(db.pageSize, n)
 				if err != nil {
 					if firstErr == nil {
 						firstErr = err
@@ -336,11 +350,28 @@ func (db *DB) commitLocked() error {
 	for _, id := range dels {
 		b.Delete(id)
 	}
-	meta, err := db.encodeMeta()
+	meta, ovf, err := db.encodeMeta()
 	if err != nil {
 		db.restoreStage(stage)
 		return err
 	}
+	metaMembers := 1
+	if db.metaDirty {
+		// The free list / registry changed: rewrite the overflow chain and
+		// tombstone pages the (shrunken) chain no longer uses. When the meta
+		// is clean the chain's durable images are already current.
+		for j, img := range ovf {
+			b.Write(metaOverflowBase+uint32(j), img)
+			metaMembers++
+		}
+		for j := len(ovf); j < db.metaOvf; j++ {
+			if id := metaOverflowBase + uint32(j); db.st.Has(id) {
+				b.Delete(id)
+			}
+		}
+	}
+	// The metadata page is the commit's terminal member: tearing it (or any
+	// other member) rolls the whole batch back on recovery.
 	b.Write(metaPageID, meta)
 
 	if err := db.st.Apply(b); err != nil {
@@ -350,8 +381,9 @@ func (db *DB) commitLocked() error {
 	db.pending = make(map[uint32][]byte)
 	db.freed = make(map[uint32]bool)
 	db.metaDirty = false
+	db.metaOvf = len(ovf)
 	db.commits++
-	db.commitPages += uint64(len(ids)) + 1
+	db.commitPages += uint64(len(ids)) + uint64(metaMembers)
 	return nil
 }
 
@@ -429,59 +461,97 @@ func (db *DB) Stats() Stats {
 	}
 }
 
-// metadata page layout (fits one page; little-endian):
+// ovfHeaderBytes is the overflow page header: magic (8) | count (4).
+const ovfHeaderBytes = 12
+
+// metadata layout (little-endian), format 2:
 //
-//	magic (8) | nextID (4) | ntrees (4) | nfree (4)
-//	per tree: nameLen (2) | name | root (4) | height (4) | count (8)
-//	free ids (4 each)
+//	page 0:     magic (8) | nextID (4) | ntrees (4) | nfree (4, total) |
+//	            novf (4), then per tree: nameLen (2) | name | root (4) |
+//	            height (4) | count (8), then free ids (4 each) up to the
+//	            end of the page
+//	overflow j: magic (8) | count (4) | free ids (4 each), stored at page
+//	            metaOverflowBase+j
 //
-// The free list is truncated if it outgrows the page (those ids leak until
-// the store is rebuilt — harmless, and sized generously: a 4 KiB page holds
-// ~1000 free ids).
-func (db *DB) encodeMeta() ([]byte, error) {
+// The free list never truncates: ids that do not fit page 0 spill into
+// overflow pages at reserved high page ids, committed as members of the
+// same atomic batch as the meta page, so DropTree- and merge-freed ids
+// survive reopen no matter how many there are.
+func (db *DB) encodeMeta() (meta []byte, ovf [][]byte, err error) {
+	if db.pool.MaxPageID() >= metaOverflowBase {
+		return nil, nil, fmt.Errorf("pagedb: page id space exhausted (next id %d reaches the metadata overflow range)", db.pool.MaxPageID())
+	}
 	buf := make([]byte, 0, db.pageSize)
 	buf = append(buf, metaMagic...)
 	buf = binary.LittleEndian.AppendUint32(buf, db.pool.MaxPageID())
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(db.order)))
 	free := db.pool.FreeList()
-	nfreeOff := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(free)))
+	novfOff := len(buf)
 	buf = binary.LittleEndian.AppendUint32(buf, 0) // patched below
 	for _, name := range db.order {
 		t := db.trees[name]
 		if len(name) > 0xFFFF {
-			return nil, fmt.Errorf("pagedb: tree name %q too long", name)
+			return nil, nil, fmt.Errorf("pagedb: tree name %q too long", name)
 		}
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
 		buf = append(buf, name...)
-		buf = binary.LittleEndian.AppendUint32(buf, t.root)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.height))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.count))
+		buf = binary.LittleEndian.AppendUint32(buf, t.core.Root())
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.core.Height()))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.core.Len()))
 	}
 	if len(buf) > db.pageSize {
-		return nil, fmt.Errorf("pagedb: metadata (%d trees) exceeds the %d-byte page", len(db.order), db.pageSize)
+		return nil, nil, fmt.Errorf("pagedb: metadata (%d trees) exceeds the %d-byte page", len(db.order), db.pageSize)
 	}
-	kept := 0
-	for _, id := range free {
-		if len(buf)+4 > db.pageSize {
-			break
+	// The free list's first chunk fills page 0's remainder; the rest spills
+	// into overflow pages.
+	n := 0
+	for ; n < len(free) && len(buf)+4 <= db.pageSize; n++ {
+		buf = binary.LittleEndian.AppendUint32(buf, free[n])
+	}
+	perPage := (db.pageSize - ovfHeaderBytes) / 4
+	for n < len(free) {
+		chunk := free[n:]
+		if len(chunk) > perPage {
+			chunk = chunk[:perPage]
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, id)
-		kept++
+		img := make([]byte, db.pageSize)
+		copy(img, ovfMagic)
+		binary.LittleEndian.PutUint32(img[8:12], uint32(len(chunk)))
+		off := ovfHeaderBytes
+		for _, id := range chunk {
+			binary.LittleEndian.PutUint32(img[off:], id)
+			off += 4
+		}
+		ovf = append(ovf, img)
+		n += len(chunk)
 	}
-	binary.LittleEndian.PutUint32(buf[nfreeOff:], uint32(kept))
-	img := make([]byte, db.pageSize)
-	copy(img, buf)
-	return img, nil
+	if len(ovf) > int(^uint32(0)-metaOverflowBase) {
+		return nil, nil, fmt.Errorf("pagedb: free list of %d ids exceeds the overflow page range", len(free))
+	}
+	binary.LittleEndian.PutUint32(buf[novfOff:], uint32(len(ovf)))
+	meta = make([]byte, db.pageSize)
+	copy(meta, buf)
+	return meta, ovf, nil
 }
 
 func (db *DB) decodeMeta(img []byte) error {
-	if len(img) < 20 || string(img[:8]) != metaMagic {
+	if len(img) >= 8 && string(img[:8]) == "PGDBMET1" {
+		return fmt.Errorf("pagedb: store uses the obsolete v1 metadata format (single-page free list); rebuild it with the current version")
+	}
+	if len(img) < 24 || string(img[:8]) != metaMagic {
 		return fmt.Errorf("pagedb: malformed metadata page")
 	}
 	nextID := binary.LittleEndian.Uint32(img[8:12])
 	ntrees := int(binary.LittleEndian.Uint32(img[12:16]))
 	nfree := int(binary.LittleEndian.Uint32(img[16:20]))
-	off := 20
+	novf := int(binary.LittleEndian.Uint32(img[20:24]))
+	// Plausibility bounds before any allocation: there cannot be more free
+	// ids than allocated ids, and every overflow page holds at least one id.
+	if uint64(nfree) > uint64(nextID) || novf > nfree {
+		return fmt.Errorf("pagedb: malformed free list header (%d ids, %d overflow pages, next id %d)", nfree, novf, nextID)
+	}
+	off := 24
 	for i := 0; i < ntrees; i++ {
 		if off+2 > len(img) {
 			return fmt.Errorf("pagedb: truncated tree registry")
@@ -493,35 +563,63 @@ func (db *DB) decodeMeta(img []byte) error {
 		}
 		name := string(img[off : off+nameLen])
 		off += nameLen
-		t := &Tree{
-			db:     db,
-			name:   name,
-			root:   binary.LittleEndian.Uint32(img[off:]),
-			height: int(binary.LittleEndian.Uint32(img[off+4:])),
-			count:  int(binary.LittleEndian.Uint64(img[off+8:])),
-		}
+		root := binary.LittleEndian.Uint32(img[off:])
+		height := int(binary.LittleEndian.Uint32(img[off+4:]))
+		count := int(binary.LittleEndian.Uint64(img[off+8:]))
 		off += 16
-		if t.root == metaPageID || t.root >= nextID || t.height < 1 {
-			return fmt.Errorf("pagedb: tree %q has invalid root %d (next id %d)", name, t.root, nextID)
+		if root == metaPageID || root >= nextID || height < 1 {
+			return fmt.Errorf("pagedb: tree %q has invalid root %d (next id %d)", name, root, nextID)
 		}
 		if _, dup := db.trees[name]; dup {
 			return fmt.Errorf("pagedb: duplicate tree %q in metadata", name)
 		}
+		t := &Tree{
+			db:   db,
+			name: name,
+			core: btree.LoadCore(nodeStore{db}, db.pageSize, btree.PageLayout, root, height, count),
+		}
 		db.trees[name] = t
 		db.order = append(db.order, name)
 	}
-	if off+4*nfree > len(img) {
-		return fmt.Errorf("pagedb: truncated free list")
-	}
 	free := make([]uint32, 0, nfree)
-	for i := 0; i < nfree; i++ {
-		id := binary.LittleEndian.Uint32(img[off:])
-		off += 4
+	takeID := func(src []byte, off int) error {
+		id := binary.LittleEndian.Uint32(src[off:])
 		if id == metaPageID || id >= nextID {
 			return fmt.Errorf("pagedb: invalid free page id %d", id)
 		}
 		free = append(free, id)
+		return nil
 	}
+	// Page 0's chunk runs to the end of the page (mirroring encodeMeta's
+	// fill rule), then the overflow chain supplies the rest.
+	for len(free) < nfree && off+4 <= len(img) {
+		if err := takeID(img, off); err != nil {
+			return err
+		}
+		off += 4
+	}
+	for j := 0; j < novf; j++ {
+		opg := make([]byte, db.pageSize)
+		if err := db.st.ReadPage(metaOverflowBase+uint32(j), opg); err != nil {
+			return fmt.Errorf("pagedb: reading free-list overflow page %d: %w", j, err)
+		}
+		if len(opg) < ovfHeaderBytes || string(opg[:8]) != ovfMagic {
+			return fmt.Errorf("pagedb: malformed free-list overflow page %d", j)
+		}
+		count := int(binary.LittleEndian.Uint32(opg[8:12]))
+		if ovfHeaderBytes+4*count > len(opg) || len(free)+count > nfree {
+			return fmt.Errorf("pagedb: free-list overflow page %d overruns (%d ids)", j, count)
+		}
+		for i := 0; i < count; i++ {
+			if err := takeID(opg, ovfHeaderBytes+4*i); err != nil {
+				return err
+			}
+		}
+	}
+	if len(free) != nfree {
+		return fmt.Errorf("pagedb: free list truncated: %d of %d ids recovered", len(free), nfree)
+	}
+	db.metaOvf = novf
 	db.pool.Seed(nextID, free)
 	return nil
 }

@@ -367,6 +367,188 @@ func TestDropTreeReclaimsPages(t *testing.T) {
 	}
 }
 
+// TestFreeListSpillsAcrossMetaPages proves the metadata free list no longer
+// truncates at one page: dropping a large tree frees far more page ids than
+// the 256-byte meta page can hold, and every one of them must survive
+// Close/Open and be reused by the allocator before it mints fresh ids.
+func TestFreeListSpillsAcrossMetaPages(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts(dir)
+	opts.Store.MaxSegments = 2048
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := db.Tree("keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := db.Tree("scratch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 300; k++ {
+		if err := keep.Put(k, val(k, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 2000; k++ {
+		if err := scratch.Put(k, val(k, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.DropTree("scratch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := len(db.pool.FreeList())
+	nextBefore := db.pool.MaxPageID()
+	// The 256-byte meta page holds at most ~50 ids beside the registry; the
+	// dropped tree must have freed far more, or the test proves nothing.
+	if freeBefore < 200 {
+		t.Fatalf("dropping the tree freed only %d ids; cannot exercise the spill", freeBefore)
+	}
+	if db.metaOvf == 0 {
+		t.Fatalf("free list of %d ids did not spill into overflow pages", freeBefore)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("reopen with spilled free list: %v", err)
+	}
+	defer db2.Close()
+	if got := len(db2.pool.FreeList()); got != freeBefore {
+		t.Fatalf("free list lost ids across reopen: %d, want %d", got, freeBefore)
+	}
+	if got := db2.pool.MaxPageID(); got != nextBefore {
+		t.Fatalf("next page id drifted across reopen: %d, want %d", got, nextBefore)
+	}
+	// Allocation must reuse the recovered ids: growing a fresh tree by a few
+	// hundred pages may not mint a single new id.
+	fresh, err := db2.Tree("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 800; k++ {
+		if err := fresh.Put(k, val(k, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db2.pool.MaxPageID(); got != nextBefore {
+		t.Fatalf("allocator minted fresh ids (%d -> %d) while %d recovered ids were free", nextBefore, got, freeBefore)
+	}
+	if got := len(db2.pool.FreeList()); got >= freeBefore {
+		t.Fatalf("free list did not shrink under reuse: %d ids", got)
+	}
+	// The shrunken list commits a shorter chain (tombstoning extra overflow
+	// pages) and the database stays fully intact through one more cycle.
+	if err := db2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	keep2, err := db2.Tree("keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 300; k++ {
+		v, ok, err := keep2.Get(k)
+		if err != nil || !ok || !bytes.Equal(v, val(k, 1)) {
+			t.Fatalf("keep key %d damaged by spill/reuse (ok=%v err=%v)", k, ok, err)
+		}
+	}
+	if err := keep2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteBorrowsBeforeMerging proves the durable engine's delete path
+// rebalances by BORROWING from a richer sibling — upgraded for free by the
+// unified core; the old pagedb fork could only merge. The setup makes both
+// options legal and checks the borrow is taken: the tree keeps its height
+// and both leaves, where a merge would have collapsed the root.
+func TestDeleteBorrowsBeforeMerging(t *testing.T) {
+	db, err := Open(memOpts()) // 256-byte pages: budget 248, 40 bytes per entry below
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tr, err := db.Tree("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v30 := func(k uint64) []byte {
+		v := make([]byte, 30)
+		v[0] = byte(k)
+		return v
+	}
+	// Seven 40-byte entries overflow one leaf (280 > 248) and split it into
+	// {0,10,20,30} | {40,50,60} under a fresh root: height 2.
+	for k := uint64(0); k <= 60; k += 10 {
+		if err := tr.Put(k, v30(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := tr.Height(); h != 2 {
+		t.Fatalf("setup height = %d, want 2", h)
+	}
+
+	// Shrink the right leaf to one entry (40 bytes, below the 62-byte
+	// underflow threshold). The left sibling holds 160 bytes, so BOTH moves
+	// are legal: borrow (160*2 > 248) and merge (160+40 <= 248). Borrow must
+	// win: height stays 2.
+	if _, err := tr.Delete(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Delete(60); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Height(); h != 2 {
+		t.Fatalf("height after underflow = %d: the delete merged instead of borrowing", h)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after borrow: %v", err)
+	}
+	// The borrow shifted key 30 from the left sibling: the root's separator
+	// moved and every key is still readable.
+	root, err := db.node(tr.core.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Kids) != 2 {
+		t.Fatalf("root has %d kids after borrow, want 2", len(root.Kids))
+	}
+	if root.Keys[0] != 30 {
+		t.Fatalf("separator after borrow = %d, want 30 (shifted from the left leaf)", root.Keys[0])
+	}
+	for _, k := range []uint64{0, 10, 20, 30, 40} {
+		if _, ok, err := tr.Get(k); err != nil || !ok {
+			t.Fatalf("key %d lost by the borrow (ok=%v err=%v)", k, ok, err)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+
+	// Push the left leaf below borrowability (120*2 <= 248): now the merge
+	// fires and the root collapses — both rebalancing arms work.
+	if _, err := tr.Delete(40); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Height(); h != 1 {
+		t.Fatalf("height after merge = %d, want 1", h)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after merge: %v", err)
+	}
+}
+
 func TestOpenRejectsForeignStore(t *testing.T) {
 	dir := t.TempDir()
 	s, err := store.Open(store.Options{Dir: dir, PageSize: 256, SegmentPages: 8, MaxSegments: 64})

@@ -9,12 +9,16 @@ import (
 // Tree is a named B+-tree of a DB: uint64 keys, opaque []byte values, one
 // store page per node. Handles stay valid until the tree is dropped or the
 // DB is closed, and are safe for concurrent use (the DB serializes).
+//
+// A Tree holds NO tree algorithm of its own: it is a thin adapter — lock,
+// guard, value copying, metadata bookkeeping — around the unified
+// btree.Core instantiated over this DB's store-backed NodeStore (node.go).
+// Insert/split, delete with borrow+merge rebalancing, scans and the
+// invariant checker are the exact code the in-memory engine runs.
 type Tree struct {
 	db      *DB
 	name    string
-	root    uint32
-	height  int
-	count   int
+	core    *btree.Core
 	dropped bool
 }
 
@@ -32,8 +36,11 @@ func (db *DB) Tree(name string) (*Tree, error) {
 	if t, ok := db.trees[name]; ok {
 		return t, nil
 	}
-	root := db.allocNode(true)
-	t := &Tree{db: db, name: name, root: root.id, height: 1}
+	core, err := btree.NewCore(nodeStore{db}, db.pageSize, btree.PageLayout)
+	if err != nil {
+		return nil, db.finishOp(err)
+	}
+	t := &Tree{db: db, name: name, core: core}
 	db.trees[name] = t
 	db.order = append(db.order, name)
 	db.metaDirty = true
@@ -62,7 +69,7 @@ func (db *DB) DropTree(name string) error {
 	// Collect the whole subtree BEFORE freeing anything: a walk failure
 	// then leaves the tree fully registered and intact (retryable), never
 	// half-freed with unreachable pages leaked.
-	pages, err := db.collectSubtree(t.root, t.height, nil)
+	pages, err := t.core.CollectPages()
 	if err != nil {
 		return db.finishOp(err)
 	}
@@ -79,27 +86,6 @@ func (db *DB) DropTree(name string) error {
 	}
 	db.metaDirty = true
 	return db.finishOp(nil)
-}
-
-// collectSubtree appends every page id of a subtree to dst (post-order).
-// depth guards against cyclic corruption.
-func (db *DB) collectSubtree(id uint32, depth int, dst []uint32) ([]uint32, error) {
-	if depth < 1 {
-		return dst, fmt.Errorf("pagedb: subtree deeper than the tree height (corrupt links at page %d)", id)
-	}
-	n, err := db.node(id)
-	if err != nil {
-		return dst, err
-	}
-	if !n.leaf {
-		kids := append([]uint32(nil), n.kids...) // n may be evicted mid-walk
-		for _, kid := range kids {
-			if dst, err = db.collectSubtree(kid, depth-1, dst); err != nil {
-				return dst, err
-			}
-		}
-	}
-	return append(dst, id), nil
 }
 
 func (t *Tree) guard() error {
@@ -119,14 +105,14 @@ func (t *Tree) Name() string { return t.name }
 func (t *Tree) Len() int {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
-	return t.count
+	return t.core.Len()
 }
 
 // Height returns the tree height (1 for a lone leaf).
 func (t *Tree) Height() int {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
-	return t.height
+	return t.core.Height()
 }
 
 // Get returns a copy of the value stored under key.
@@ -136,25 +122,11 @@ func (t *Tree) Get(key uint64) ([]byte, bool, error) {
 	if err := t.guard(); err != nil {
 		return nil, false, err
 	}
-	v, ok, err := t.get(key)
+	v, ok, err := t.core.Get(key)
+	if ok {
+		v = append([]byte(nil), v...)
+	}
 	return v, ok, t.db.finishOp(err)
-}
-
-func (t *Tree) get(key uint64) ([]byte, bool, error) {
-	n, err := t.db.node(t.root)
-	if err != nil {
-		return nil, false, err
-	}
-	for !n.leaf {
-		if n, err = t.db.node(n.kids[n.childIndex(key)]); err != nil {
-			return nil, false, err
-		}
-	}
-	i := search(n.keys, key)
-	if i < len(n.keys) && n.keys[i] == key {
-		return append([]byte(nil), n.vals[i]...), true, nil
-	}
-	return nil, false, nil
 }
 
 // Put stores value under key, replacing any existing value. The value is
@@ -173,262 +145,27 @@ func (t *Tree) Put(key uint64, value []byte) error {
 		// how large the page is.
 		return fmt.Errorf("%w: %d bytes overflows the page format's length field", ErrTooLarge, len(value))
 	}
-	return t.db.finishOp(t.putLocked(key, append([]byte(nil), value...)))
-}
-
-func (t *Tree) putLocked(key uint64, value []byte) error {
-	rootNode, err := t.db.node(t.root)
-	if err != nil {
-		return err
-	}
-	split, sep, added, err := t.put(rootNode, key, value)
-	if err != nil {
-		return err
-	}
-	if split != nil {
-		// Root split: grow the tree by one level.
-		newRoot := t.db.allocNode(false)
-		newRoot.keys = []uint64{sep}
-		newRoot.kids = []uint32{t.root, split.id}
-		newRoot.nbytes = btree.BranchEntryBytes * 2
-		t.root = newRoot.id
-		t.height++
-	}
+	added, err := t.core.Insert(key, append([]byte(nil), value...))
 	if added {
-		t.count++
-		t.db.metaDirty = true
+		t.db.metaDirty = true // the persisted entry count changed
 	}
-	return nil
+	return t.db.finishOp(err)
 }
 
-// put descends to a leaf; on overflow it splits and returns the new right
-// sibling plus its separator key.
-func (t *Tree) put(n *dnode, key uint64, value []byte) (split *dnode, sep uint64, added bool, err error) {
-	if n.leaf {
-		t.db.dirty(n)
-		i := search(n.keys, key)
-		if i < len(n.keys) && n.keys[i] == key {
-			n.nbytes += btree.LeafEntryBytes(value) - btree.LeafEntryBytes(n.vals[i])
-			n.vals[i] = value
-		} else {
-			n.keys = append(n.keys, 0)
-			copy(n.keys[i+1:], n.keys[i:])
-			n.keys[i] = key
-			n.vals = append(n.vals, nil)
-			copy(n.vals[i+1:], n.vals[i:])
-			n.vals[i] = value
-			n.nbytes += btree.LeafEntryBytes(value)
-			added = true
-		}
-		if n.nbytes > t.db.budget() {
-			split, sep = t.splitLeaf(n)
-		}
-		return split, sep, added, nil
-	}
-
-	ci := n.childIndex(key)
-	child, err := t.db.node(n.kids[ci])
-	if err != nil {
-		return nil, 0, false, err
-	}
-	childSplit, childSep, added, err := t.put(child, key, value)
-	if err != nil || childSplit == nil {
-		return nil, 0, added, err
-	}
-	t.db.dirty(n)
-	n.keys = append(n.keys, 0)
-	copy(n.keys[ci+1:], n.keys[ci:])
-	n.keys[ci] = childSep
-	n.kids = append(n.kids, 0)
-	copy(n.kids[ci+2:], n.kids[ci+1:])
-	n.kids[ci+1] = childSplit.id
-	n.nbytes += btree.BranchEntryBytes
-	if n.nbytes > t.db.budget() {
-		split, sep = t.splitBranch(n)
-	}
-	return split, sep, added, nil
-}
-
-// splitLeaf moves the upper half (by bytes) of a leaf into a new right
-// sibling and returns it with its separator (the sibling's first key).
-func (t *Tree) splitLeaf(n *dnode) (*dnode, uint64) {
-	half := n.nbytes / 2
-	acc, cut := 0, 0
-	for i := range n.keys {
-		acc += btree.LeafEntryBytes(n.vals[i])
-		if acc > half {
-			cut = i + 1
-			break
-		}
-	}
-	if cut == 0 || cut >= len(n.keys) {
-		cut = len(n.keys) / 2
-	}
-	right := t.db.allocNode(true)
-	right.keys = append(right.keys, n.keys[cut:]...)
-	right.vals = append(right.vals, n.vals[cut:]...)
-	for i := range right.vals {
-		right.nbytes += btree.LeafEntryBytes(right.vals[i])
-	}
-	n.keys = n.keys[:cut]
-	n.vals = n.vals[:cut]
-	n.nbytes -= right.nbytes
-	right.next = n.next
-	n.next = right.id
-	t.db.dirty(n)
-	t.db.dirty(right)
-	return right, right.keys[0]
-}
-
-// splitBranch moves the upper half of a branch into a new right sibling;
-// the middle separator moves up.
-func (t *Tree) splitBranch(n *dnode) (*dnode, uint64) {
-	mid := len(n.keys) / 2
-	sep := n.keys[mid]
-	right := t.db.allocNode(false)
-	right.keys = append(right.keys, n.keys[mid+1:]...)
-	right.kids = append(right.kids, n.kids[mid+1:]...)
-	right.nbytes = btree.BranchEntryBytes * len(right.kids)
-	n.keys = n.keys[:mid]
-	n.kids = n.kids[:mid+1]
-	n.nbytes = btree.BranchEntryBytes * len(n.kids)
-	t.db.dirty(n)
-	t.db.dirty(right)
-	return right, sep
-}
-
-// Delete removes key, merging underfull nodes where a neighbor fits. It
-// reports whether the key existed.
+// Delete removes key, rebalancing underfull nodes (borrow from a richer
+// sibling first, merge where a neighbor fits). It reports whether the key
+// existed.
 func (t *Tree) Delete(key uint64) (bool, error) {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
 	if err := t.guard(); err != nil {
 		return false, err
 	}
-	deleted, err := t.deleteLocked(key)
+	deleted, err := t.core.Delete(key)
+	if deleted {
+		t.db.metaDirty = true
+	}
 	return deleted, t.db.finishOp(err)
-}
-
-func (t *Tree) deleteLocked(key uint64) (bool, error) {
-	rootNode, err := t.db.node(t.root)
-	if err != nil {
-		return false, err
-	}
-	deleted, err := t.del(rootNode, key)
-	if err != nil || !deleted {
-		return deleted, err
-	}
-	t.count--
-	t.db.metaDirty = true
-	// Collapse a root holding a single child.
-	for {
-		n, err := t.db.node(t.root)
-		if err != nil {
-			return true, err
-		}
-		if n.leaf || len(n.kids) != 1 {
-			break
-		}
-		child := n.kids[0]
-		t.db.freeNode(t.root)
-		t.root = child
-		t.height--
-	}
-	return true, nil
-}
-
-func (t *Tree) del(n *dnode, key uint64) (bool, error) {
-	if n.leaf {
-		i := search(n.keys, key)
-		if i >= len(n.keys) || n.keys[i] != key {
-			return false, nil
-		}
-		t.db.dirty(n)
-		n.nbytes -= btree.LeafEntryBytes(n.vals[i])
-		n.keys = append(n.keys[:i], n.keys[i+1:]...)
-		n.vals = append(n.vals[:i], n.vals[i+1:]...)
-		return true, nil
-	}
-
-	ci := n.childIndex(key)
-	child, err := t.db.node(n.kids[ci])
-	if err != nil {
-		return false, err
-	}
-	deleted, err := t.del(child, key)
-	if err != nil || !deleted {
-		return deleted, err
-	}
-	if child.nbytes*4 < t.db.budget() {
-		if err := t.mergeIfPossible(n, ci); err != nil {
-			return true, err
-		}
-	}
-	return true, nil
-}
-
-// mergeIfPossible folds child ci of n into a neighbor when the combined
-// node fits the budget; otherwise the underfull node stays (byte budgets
-// make borrow/merge impossible in general, exactly as in the in-memory
-// tree).
-func (t *Tree) mergeIfPossible(n *dnode, ci int) error {
-	child, err := t.db.node(n.kids[ci])
-	if err != nil {
-		return err
-	}
-	extra := 0
-	if !child.leaf {
-		extra = btree.BranchEntryBytes
-	}
-	if ci > 0 {
-		left, err := t.db.node(n.kids[ci-1])
-		if err != nil {
-			return err
-		}
-		if left.nbytes+child.nbytes+extra <= t.db.budget() {
-			return t.merge(n, ci-1)
-		}
-	}
-	if ci+1 < len(n.kids) {
-		right, err := t.db.node(n.kids[ci+1])
-		if err != nil {
-			return err
-		}
-		if child.nbytes+right.nbytes+extra <= t.db.budget() {
-			return t.merge(n, ci)
-		}
-	}
-	return nil
-}
-
-// merge folds child ci+1 of n into child ci and frees its page.
-func (t *Tree) merge(n *dnode, ci int) error {
-	left, err := t.db.node(n.kids[ci])
-	if err != nil {
-		return err
-	}
-	right, err := t.db.node(n.kids[ci+1])
-	if err != nil {
-		return err
-	}
-	t.db.dirty(n)
-	t.db.dirty(left)
-	if left.leaf {
-		left.keys = append(left.keys, right.keys...)
-		left.vals = append(left.vals, right.vals...)
-		left.nbytes += right.nbytes
-		left.next = right.next
-	} else {
-		left.keys = append(left.keys, n.keys[ci])
-		left.keys = append(left.keys, right.keys...)
-		left.kids = append(left.kids, right.kids...)
-		left.nbytes += right.nbytes + btree.BranchEntryBytes
-	}
-	t.db.freeNode(right.id)
-	n.keys = append(n.keys[:ci], n.keys[ci+1:]...)
-	n.kids = append(n.kids[:ci+1], n.kids[ci+2:]...)
-	n.nbytes -= btree.BranchEntryBytes
-	return nil
 }
 
 // Scan visits keys in [from, to] in order, stopping early if fn returns
@@ -440,53 +177,18 @@ func (t *Tree) Scan(from, to uint64, fn func(key uint64, value []byte) bool) err
 	if err := t.guard(); err != nil {
 		return err
 	}
-	return t.db.finishOp(t.scan(from, to, fn))
+	return t.db.finishOp(t.core.Scan(from, to, fn))
 }
 
-func (t *Tree) scan(from, to uint64, fn func(key uint64, value []byte) bool) error {
-	n, err := t.db.node(t.root)
-	if err != nil {
-		return err
-	}
-	for !n.leaf {
-		if n, err = t.db.node(n.kids[n.childIndex(from)]); err != nil {
-			return err
-		}
-	}
-	for {
-		for i, k := range n.keys {
-			if k < from {
-				continue
-			}
-			if k > to || !fn(k, n.vals[i]) {
-				return nil
-			}
-		}
-		if n.next == 0 {
-			return nil
-		}
-		if n, err = t.db.node(n.next); err != nil {
-			return err
-		}
-	}
-}
-
-// CheckInvariants validates the tree's structural invariants against the
-// same rules as the in-memory tree (btree.CheckPageTree): sorted and
-// bounded keys, uniform leaf depth, page images within the page size, leaf
-// chain and count agreement.
+// CheckInvariants validates the tree's structural invariants — the same
+// unified checker (btree.Core.Check) the in-memory tree runs: sorted and
+// bounded keys, uniform leaf depth, byte accounting within the page
+// budget, leaf chain and count agreement.
 func (t *Tree) CheckInvariants() error {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
 	if err := t.guard(); err != nil {
 		return err
 	}
-	fetch := func(id uint32) (*btree.NodePage, error) {
-		n, err := t.db.node(id)
-		if err != nil {
-			return nil, err
-		}
-		return n.page(), nil
-	}
-	return t.db.finishOp(btree.CheckPageTree(fetch, t.root, t.height, t.count, t.db.pageSize))
+	return t.db.finishOp(t.core.Check())
 }

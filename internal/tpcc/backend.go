@@ -80,8 +80,11 @@ func (b *memBackend) Commit() error {
 	return err
 }
 
-// memTable adapts the in-memory B+-tree to the Table interface. The btree
-// operations cannot fail, so every error is nil.
+// memTable adapts the in-memory B+-tree to the Table interface. This is
+// the in-memory instantiation of the same unified tree core the pagedb
+// backend runs (btree.Core over its two NodeStores), so the cross-engine
+// equivalence test compares storage stacks, never tree algorithms. The
+// btree operations cannot fail, so every error is nil.
 type memTable struct{ t *btree.Tree }
 
 func (m memTable) Get(key uint64) ([]byte, bool, error) {

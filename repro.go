@@ -255,6 +255,10 @@ type (
 	// (cleaner and streams included), commit counters.
 	PageDBStats = pagedb.Stats
 	// PageTree is one named B+-tree of a PageDB (Get/Put/Delete/Scan).
+	// Its algorithm — insert/split, delete with borrow+merge rebalancing,
+	// scans, invariants — is the SAME unified core (internal/btree) the
+	// in-memory TPC-C trace engine runs, instantiated over the durable
+	// node cache.
 	PageTree = pagedb.Tree
 )
 
