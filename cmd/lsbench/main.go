@@ -31,6 +31,7 @@ func main() {
 	scaleName := flag.String("scale", "medium", "geometry preset: small, medium, paper")
 	format := flag.String("format", "md", "output format: md, csv")
 	fill := flag.Float64("fill", 0, "tpcc only: target sealed-region fill factor (0 = default 0.6; routed placement is predicted to pay at 0.8+)")
+	metricsOut := flag.String("metrics-out", "", "write a metrics report (run metadata + per-run registry snapshots) as JSON to this path, e.g. BENCH_tpcc.json; only the live-engine experiments (cleaner, routing, batching, tpcc) record runs")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
 	flag.Parse()
 
@@ -44,6 +45,10 @@ func main() {
 	var progress io.Writer
 	if *verbose {
 		progress = os.Stderr
+	}
+
+	if *metricsOut != "" {
+		experiments.BeginReport(*exp, scale)
 	}
 
 	start := time.Now()
@@ -104,6 +109,25 @@ func main() {
 		default:
 			log.Fatalf("unknown format %q", *format)
 		}
+	}
+	if *metricsOut != "" {
+		rep := experiments.TakeReport()
+		rep.UnixNanos = time.Now().UnixNano()
+		if len(rep.Runs) == 0 {
+			log.Printf("warning: -exp %s records no metrics runs (only cleaner, routing, batching and tpcc do)", *exp)
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "lsbench: wrote %d metric run(s) to %s\n", len(rep.Runs), *metricsOut)
 	}
 	fmt.Fprintf(os.Stderr, "lsbench: %s at scale %s in %.1fs\n", *exp, scale, time.Since(start).Seconds())
 }

@@ -37,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Errors surfaced through Admit.
@@ -170,6 +172,11 @@ type Options struct {
 	// StallTimeout bounds how long one admission may stay blocked before
 	// failing with ErrStalled (default 30s).
 	StallTimeout time.Duration
+	// Obs receives the cleaner's metrics (cleaner.* series) and trace
+	// events. Engines pass their own registry so one snapshot covers the
+	// whole stack; nil creates a private registry, so the cleaner.Stats
+	// fields fed from obs counters are always live.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -208,6 +215,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.StallTimeout == 0 {
 		o.StallTimeout = 30 * time.Second
 	}
+	if o.Obs == nil {
+		o.Obs = obs.New()
+	}
 	return o, nil
 }
 
@@ -239,6 +249,12 @@ type Stats struct {
 	// WriterDelayTime their cumulative added latency.
 	WriterDelays    uint64
 	WriterDelayTime time.Duration
+	// AdmissionStalls and StallNanos report the same stall activity as
+	// WriterStalls/WriterStallTime but are fed from the obs counters
+	// (cleaner.admission.stalls / cleaner.admission.stall_ns), so an
+	// engine's Stats and its Registry.Snapshot always agree.
+	AdmissionStalls uint64
+	StallNanos      uint64
 }
 
 // Cleaner owns the background cleaning lifecycle for one Target.
@@ -260,6 +276,18 @@ type Cleaner struct {
 	done     chan struct{}
 
 	errRun int // consecutive failed cycles (cleaner goroutine only)
+
+	// obs handles, resolved once at Start (the registry is never nil after
+	// withDefaults, but nil handles would be safe no-ops regardless).
+	obs       *obs.Registry
+	mStalls   *obs.Counter   // cleaner.admission.stalls
+	mStallNS  *obs.Counter   // cleaner.admission.stall_ns
+	mDelays   *obs.Counter   // cleaner.admission.delays
+	mDelayNS  *obs.Counter   // cleaner.admission.delay_ns
+	hSelect   *obs.Histogram // cleaner.select.ns
+	hRelocate *obs.Histogram // cleaner.relocate.ns
+	hRelease  *obs.Histogram // cleaner.release.ns
+	trace     *obs.Trace
 }
 
 // Start validates opts and launches the cleaning goroutine.
@@ -269,16 +297,29 @@ func Start(t Target, opts Options) (*Cleaner, error) {
 		return nil, err
 	}
 	c := &Cleaner{
-		t:      t,
-		opts:   opts,
-		waitCh: make(chan struct{}),
-		kick:   make(chan struct{}, 1),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		t:         t,
+		opts:      opts,
+		waitCh:    make(chan struct{}),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		obs:       opts.Obs,
+		mStalls:   opts.Obs.Counter("cleaner.admission.stalls"),
+		mStallNS:  opts.Obs.Counter("cleaner.admission.stall_ns"),
+		mDelays:   opts.Obs.Counter("cleaner.admission.delays"),
+		mDelayNS:  opts.Obs.Counter("cleaner.admission.delay_ns"),
+		hSelect:   opts.Obs.Histogram("cleaner.select.ns"),
+		hRelocate: opts.Obs.Histogram("cleaner.relocate.ns"),
+		hRelease:  opts.Obs.Histogram("cleaner.release.ns"),
+		trace:     opts.Obs.Trace(),
 	}
 	go c.run()
 	return c, nil
 }
+
+// Obs returns the registry the cleaner reports into (its own when the
+// engine did not supply one).
+func (c *Cleaner) Obs() *obs.Registry { return c.obs }
 
 // Kick wakes the cleaner goroutine; writers call it when they notice the
 // free pool below the low-water mark. It never blocks.
@@ -288,6 +329,7 @@ func (c *Cleaner) Kick() {
 		c.mu.Lock()
 		c.stats.Kicks++
 		c.mu.Unlock()
+		c.trace.Emit(obs.EvCleanerKick, int64(c.t.FreeSegments()))
 	default:
 	}
 }
@@ -302,12 +344,21 @@ func (c *Cleaner) Stop() {
 // State reports the cleaner's current lifecycle state.
 func (c *Cleaner) State() State { return State(c.state.Load()) }
 
+// setState records a lifecycle transition, tracing it when it changes.
+func (c *Cleaner) setState(s State) {
+	if old := State(c.state.Swap(int32(s))); old != s {
+		c.trace.Emit(obs.EvCleanerState, int64(old), int64(s))
+	}
+}
+
 // Stats returns a snapshot of the cleaner's counters.
 func (c *Cleaner) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.stats
 	st.State = c.State().String()
+	st.AdmissionStalls = c.mStalls.Value()
+	st.StallNanos = c.mStallNS.Value()
 	return st
 }
 
@@ -337,6 +388,8 @@ func (c *Cleaner) AdmitN(n int) error {
 			c.stats.WriterDelays++
 			c.stats.WriterDelayTime += ad.Delay
 			c.mu.Unlock()
+			c.mDelays.Inc()
+			c.mDelayNS.Add(uint64(ad.Delay))
 		}
 		if !ad.Block {
 			return nil
@@ -369,6 +422,8 @@ func (c *Cleaner) AdmitN(n int) error {
 			c.mu.Lock()
 			c.stats.WriterStalls++
 			c.mu.Unlock()
+			c.mStalls.Inc()
+			c.trace.Emit(obs.EvEmergencyFloor, int64(free), int64(c.opts.EmergencyFloor))
 		}
 		if deadline.IsZero() {
 			deadline = time.Now().Add(c.opts.StallTimeout)
@@ -415,6 +470,7 @@ func (c *Cleaner) addStall(d time.Duration) {
 	c.mu.Lock()
 	c.stats.WriterStallTime += d
 	c.mu.Unlock()
+	c.mStallNS.Add(uint64(d))
 }
 
 // broadcast wakes every writer blocked in Admit.
@@ -456,7 +512,7 @@ func (c *Cleaner) run() {
 	for {
 		select {
 		case <-c.stop:
-			c.state.Store(int32(StateStopped))
+			c.setState(StateStopped)
 			c.mu.Lock()
 			c.stopped = true
 			c.mu.Unlock()
@@ -486,8 +542,10 @@ func (c *Cleaner) reclaim() {
 		default:
 		}
 
-		c.state.Store(int32(StateSelecting))
+		c.setState(StateSelecting)
+		t0 := time.Now()
 		victims := c.t.SelectVictims(c.opts.Batch)
+		c.hSelect.Record(uint64(time.Since(t0)))
 		if len(victims) == 0 {
 			// Nothing sealed to clean while the pool is low: every
 			// remaining segment is open, already being cleaned, or free.
@@ -495,8 +553,10 @@ func (c *Cleaner) reclaim() {
 			break
 		}
 
-		c.state.Store(int32(StateRelocating))
+		c.setState(StateRelocating)
+		t0 = time.Now()
 		records, moved, err := c.t.Relocate(victims)
+		c.hRelocate.Record(uint64(time.Since(t0)))
 		if err != nil {
 			c.t.Abort(victims)
 			c.mu.Lock()
@@ -514,8 +574,10 @@ func (c *Cleaner) reclaim() {
 		}
 		c.errRun = 0
 
-		c.state.Store(int32(StateReleasing))
+		c.setState(StateReleasing)
+		t0 = time.Now()
 		released := c.t.Release(victims)
+		c.hRelease.Record(uint64(time.Since(t0)))
 		net := released - moved
 
 		c.mu.Lock()
@@ -554,6 +616,6 @@ func (c *Cleaner) reclaim() {
 			break
 		}
 	}
-	c.state.Store(int32(StateIdle))
+	c.setState(StateIdle)
 	c.broadcast()
 }

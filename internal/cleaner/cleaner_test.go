@@ -397,3 +397,50 @@ func TestBuiltinPacersImplementBatchPacer(t *testing.T) {
 		}
 	}
 }
+
+func TestStallCountersSurfaceInStatsAndObs(t *testing.T) {
+	// An admission-constrained pool (below the emergency floor, relocation
+	// parked) must stall the writer, and the stall must surface both in
+	// Stats (AdmissionStalls/StallNanos) and in the shared obs registry
+	// (cleaner.admission.* counters, emergency-floor trace event).
+	gate := make(chan struct{})
+	ft := &fakeTarget{free: 1, sealed: 20, segBytes: 1000, relocGate: gate}
+	c, err := Start(ft, Options{LowWater: 6, HighWater: 10, EmergencyFloor: 3, Batch: 4,
+		TotalSegments: 64, PollInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan error, 1)
+	go func() { admitted <- c.Admit() }()
+	waitFor(t, "stall to register", func() bool { return c.Stats().AdmissionStalls > 0 })
+	close(gate)
+	if err := <-admitted; err != nil {
+		t.Fatalf("Admit = %v after release", err)
+	}
+	c.Stop()
+
+	st := c.Stats()
+	if st.AdmissionStalls == 0 || st.StallNanos == 0 {
+		t.Fatalf("stall counters did not move: stalls=%d stallNanos=%d", st.AdmissionStalls, st.StallNanos)
+	}
+	if st.AdmissionStalls != st.WriterStalls || st.StallNanos != uint64(st.WriterStallTime) {
+		t.Errorf("obs-fed counters diverge from legacy stats: %+v", st)
+	}
+	snap := c.Obs().Snapshot()
+	if snap.Counters["cleaner.admission.stalls"] != st.AdmissionStalls {
+		t.Errorf("registry stalls = %d, stats say %d",
+			snap.Counters["cleaner.admission.stalls"], st.AdmissionStalls)
+	}
+	if snap.Counters["cleaner.admission.stall_ns"] == 0 {
+		t.Error("cleaner.admission.stall_ns did not move")
+	}
+	floorEvents := 0
+	for _, ev := range snap.Events {
+		if ev.Kind == "emergency.floor" {
+			floorEvents++
+		}
+	}
+	if floorEvents == 0 {
+		t.Error("no emergency.floor trace event emitted for the stall")
+	}
+}

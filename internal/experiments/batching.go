@@ -139,6 +139,18 @@ func storeBatchingRun(segPages, maxSegs, writers, ops, batch int) []string {
 		mode = fmt.Sprintf("batch=%d", batch)
 	}
 	kops := float64(writers*ops) / elapsed.Seconds() / 1000
+	recordRun(AlgReport{
+		Engine:          "page store",
+		Algorithm:       fmt.Sprintf("%s/%dw", mode, writers),
+		UserWrites:      st.UserWrites,
+		GCWrites:        st.GCWrites,
+		WriteAmp:        st.WriteAmp,
+		MeanEAtClean:    st.MeanEAtClean,
+		SegmentsCleaned: st.SegmentsCleaned,
+		CleanerCycles:   st.Cleaner.Cycles,
+		ThroughputOps:   kops * 1000,
+		Metrics:         snapshotOf(s.Obs()),
+	})
 	return []string{"page store", mode, fmt.Sprintf("%d", writers), st.Durability,
 		f2(kops), fmt.Sprintf("%d", commits), fmt.Sprintf("%d", rounds),
 		f3(ratio(rounds, commits))}
@@ -209,6 +221,18 @@ func vlogBatchingRun(maxSegs, writers, ops, batch int) []string {
 		mode = fmt.Sprintf("batch=%d", batch)
 	}
 	kops := float64(writers*ops) / elapsed.Seconds() / 1000
+	recordRun(AlgReport{
+		Engine:          "value log",
+		Algorithm:       fmt.Sprintf("%s/%dw", mode, writers),
+		UserWrites:      st.UserWrites,
+		GCWrites:        st.GCWrites,
+		WriteAmp:        st.WriteAmp,
+		MeanEAtClean:    st.MeanEAtClean,
+		SegmentsCleaned: st.SegmentsCleaned,
+		CleanerCycles:   st.Cleaner.Cycles,
+		ThroughputOps:   kops * 1000,
+		Metrics:         snapshotOf(s.Obs()),
+	})
 	return []string{"value log", mode, fmt.Sprintf("%d", writers), st.Durability,
 		f2(kops), fmt.Sprintf("%d", st.Commits), "0", "0.000"}
 }

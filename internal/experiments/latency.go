@@ -114,6 +114,22 @@ func cleanerLatencyRun(segPages, maxSegs, writers, opsPerWriter int, background 
 	}
 	st := s.Stats()
 	kops := float64(writers*opsPerWriter) / elapsed.Seconds() / 1000
+	mode := "mdc (foreground)"
+	if background {
+		mode = "mdc (background)"
+	}
+	recordRun(AlgReport{
+		Engine:          "page store",
+		Algorithm:       mode,
+		UserWrites:      st.UserWrites,
+		GCWrites:        st.GCWrites,
+		WriteAmp:        st.WriteAmp,
+		MeanEAtClean:    st.MeanEAtClean,
+		SegmentsCleaned: st.SegmentsCleaned,
+		CleanerCycles:   st.Cleaner.Cycles,
+		ThroughputOps:   kops * 1000,
+		Metrics:         snapshotOf(s.Obs()),
+	})
 	return []string{
 		f2(kops), f2(pct(0.50)), f2(pct(0.99)), f2(pct(0.999)),
 		f3(st.WriteAmp),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pagedb"
@@ -136,10 +137,15 @@ func tpccDurableRun(cfg tpcc.Config, txs int, fill float64, alg core.Algorithm) 
 	}
 	defer db.Close()
 
+	// Share the database's registry with the transaction driver so one
+	// snapshot covers the whole stack: tpcc.tx.* latency alongside the
+	// pagedb.*, store.*, cleaner.* and bufferpool.* series.
+	cfg.Obs = db.Obs()
 	eng, err := tpcc.NewEngineOn(cfg, tpcc.NewBackend(db.Tree, db.Commit))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: tpcc-durable load (%s): %v", alg.Name, err))
 	}
+	start := time.Now()
 	eng.Run(txs)
 	if err := eng.Err(); err != nil {
 		panic(fmt.Sprintf("experiments: tpcc-durable run (%s): %v", alg.Name, err))
@@ -147,9 +153,22 @@ func tpccDurableRun(cfg tpcc.Config, txs int, fill float64, alg core.Algorithm) 
 	if err := db.Commit(); err != nil {
 		panic(fmt.Sprintf("experiments: tpcc-durable final commit (%s): %v", alg.Name, err))
 	}
+	elapsed := time.Since(start)
 
 	st := db.Stats()
 	ss := st.Store
+	recordRun(AlgReport{
+		Engine:          "pagedb",
+		Algorithm:       alg.Name,
+		UserWrites:      ss.UserWrites,
+		GCWrites:        ss.GCWrites,
+		WriteAmp:        ss.WriteAmp,
+		MeanEAtClean:    ss.MeanEAtClean,
+		SegmentsCleaned: ss.SegmentsCleaned,
+		CleanerCycles:   ss.Cleaner.Cycles,
+		ThroughputOps:   float64(txs) / elapsed.Seconds(),
+		Metrics:         snapshotOf(db.Obs()),
+	})
 	return []string{
 		alg.Name,
 		fmt.Sprintf("%d", ss.UserWrites),

@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsOverhead pins the hot-path cost of the metrics layer in both
+// modes: enabled (one atomic add) and disabled (nil handle, one branch).
+// The engines keep metrics always-on, so a regression here is a regression
+// in every write path; CI runs this once per build.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("histogram-enabled", func(b *testing.B) {
+		r := New()
+		h := r.Histogram("lat")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Record(uint64(i))
+		}
+	})
+	b.Run("histogram-nil", func(b *testing.B) {
+		var h *Histogram
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Record(uint64(i))
+		}
+	})
+	b.Run("counter-enabled", func(b *testing.B) {
+		r := New()
+		c := r.Counter("ops")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("counter-nil", func(b *testing.B) {
+		var c *Counter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram-enabled-parallel", func(b *testing.B) {
+		r := New()
+		h := r.Histogram("lat")
+		b.RunParallel(func(pb *testing.PB) {
+			v := uint64(0)
+			for pb.Next() {
+				v++
+				h.Record(v)
+			}
+		})
+	})
+}

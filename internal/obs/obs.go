@@ -1,0 +1,219 @@
+// Package obs is the repository's dependency-free observability layer:
+// atomic counters and gauges, fixed-bucket latency histograms with a
+// lock-free record path, and a typed event-trace ring buffer, collected
+// behind a Registry that snapshots to a stable JSON schema.
+//
+// Design constraints, in order:
+//
+//   - The record path must be cheap enough for the engines to keep it
+//     always-on in their hot paths: Counter.Add and Histogram.Record are
+//     one atomic add each (the histogram's bucket index is a bit-length
+//     computation with no per-range branching), and no locks are taken.
+//   - A nil handle is a no-op: every method has a nil-receiver fast path,
+//     and a nil *Registry hands out nil handles, so "metrics off" is the
+//     zero value. BenchmarkObsOverhead pins the cost of both modes.
+//   - Snapshots report exact counts (every bucket is one atomic load);
+//     quantiles and means are estimated from the bucket bounds by linear
+//     interpolation, so a reported quantile is always inside its bucket —
+//     within a factor of two of the true value for the power-of-two
+//     layout.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; zero on a nil counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (free segments, queue depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by d. No-op on a nil gauge.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value; zero on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the histogram's fixed bucket count. Bucket 0 holds zeros,
+// bucket i (1 ≤ i < histBuckets-1) holds the values of bit length i — the
+// range [2^(i-1), 2^i-1] — and the last bucket is the overflow bucket for
+// everything at or above 2^(histBuckets-2). For nanosecond latencies the
+// overflow threshold is 2^39 ns ≈ 9.2 minutes; victim emptiness permille
+// (0-1000) and commit batch sizes fit far below it.
+const histBuckets = 41
+
+// Histogram is a fixed-bucket power-of-two histogram. Record is lock-free:
+// the bucket index is the value's bit length (clamped into the overflow
+// bucket) followed by a single atomic add. Counts are exact; quantiles are
+// interpolated from the bucket bounds at snapshot time.
+type Histogram struct{ buckets [histBuckets]atomic.Uint64 }
+
+// BucketIndex returns the bucket a value lands in (exported for boundary
+// tests and for readers of the JSON schema).
+func BucketIndex(v uint64) int {
+	i := bits.Len64(v)
+	if i > histBuckets-1 {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Record adds one observation. No-op on a nil histogram.
+func (h *Histogram) Record(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[BucketIndex(v)].Add(1)
+}
+
+// Count returns the exact number of observations; zero on a nil histogram.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+// BucketBounds returns the closed value range [lo, hi] of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	switch {
+	case i <= 0:
+		return 0, 0
+	case i < histBuckets-1:
+		return 1 << (i - 1), 1<<i - 1
+	default:
+		return 1 << (histBuckets - 2), math.MaxUint64
+	}
+}
+
+// BucketCount is one non-empty bucket in a snapshot: Count observations
+// with values ≤ LE (the bucket's inclusive upper bound; the overflow
+// bucket reports LE as the maximum uint64).
+type BucketCount struct {
+	LE    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time read of a histogram. Count is
+// exact; Mean and the quantiles are interpolated from bucket bounds (the
+// overflow bucket contributes its lower bound, so both are conservative
+// once anything overflows).
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Mean    float64       `json:"mean"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
+	P999    float64       `json:"p999"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot reads the histogram. Zero-valued on a nil or empty histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	s.Count = total
+	if total == 0 {
+		return s
+	}
+	var sum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		mid := float64(lo)
+		if i > 0 && i < histBuckets-1 {
+			mid = (float64(lo) + float64(hi)) / 2
+		}
+		sum += mid * float64(c)
+		s.Buckets = append(s.Buckets, BucketCount{LE: hi, Count: c})
+	}
+	s.Mean = sum / float64(total)
+	s.P50 = quantile(&counts, total, 0.50)
+	s.P95 = quantile(&counts, total, 0.95)
+	s.P99 = quantile(&counts, total, 0.99)
+	s.P999 = quantile(&counts, total, 0.999)
+	return s
+}
+
+// quantile walks the cumulative counts to the bucket containing the q-th
+// observation and interpolates linearly inside it. Monotone in q by
+// construction (the target rank is monotone and interpolation is within
+// ordered, disjoint buckets).
+func quantile(counts *[histBuckets]uint64, total uint64, q float64) float64 {
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i == 0 {
+				return 0
+			}
+			lo, hi := BucketBounds(i)
+			if i == histBuckets-1 {
+				return float64(lo) // overflow: report the bucket floor
+			}
+			frac := (target - cum) / float64(c)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum = next
+	}
+	return 0 // total == 0 (callers guard, but keep it defined)
+}

@@ -2,6 +2,7 @@ package pagedb
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/btree"
 )
@@ -58,9 +59,11 @@ func (db *DB) node(id uint32) (*btree.Node, error) {
 		img = p
 	} else {
 		img = make([]byte, db.pageSize)
+		t0 := time.Now()
 		if err := db.st.ReadPage(id, img); err != nil {
 			return nil, fmt.Errorf("pagedb: faulting page %d: %w", id, err)
 		}
+		db.hFault.Record(uint64(time.Since(t0)))
 		db.faults++
 	}
 	n, err := btree.DecodeNodeImage(id, img, btree.PageLayout)

@@ -1,0 +1,83 @@
+package pagedb
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// TestObsSnapshotUnderConcurrentPuts hammers tree Puts and Commits from
+// several goroutines while others continuously poll Stats() and the obs
+// registry's Snapshot(); under -race (the CI concurrency suite) this
+// proves the metrics hot path — including the bufferpool GaugeFuncs, which
+// take the DB mutex at snapshot time — is safe against the engine's
+// locking. It then checks the commit histograms agree with the counters.
+func TestObsSnapshotUnderConcurrentPuts(t *testing.T) {
+	db, err := Open(memOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tr, err := db.Tree("hammer")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers      = 4
+		opsPerWriter = 1500
+	)
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = db.Stats()
+				_ = db.Obs().Snapshot()
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(w), 13))
+			for i := 0; i < opsPerWriter; i++ {
+				k := uint64(r.IntN(2000))
+				if err := tr.Put(k, val(k, byte(w))); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if i%200 == 0 {
+					if err := db.Commit(); err != nil {
+						t.Errorf("writer %d commit: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	pollers.Wait()
+
+	st := db.Stats()
+	snap := db.Obs().Snapshot()
+	// The histogram times every Commit call; Stats.Commits counts only the
+	// ones that had dirty pages to apply, so it is a lower bound.
+	if h := snap.Histograms["pagedb.commit.ns"]; h.Count < st.Commits || h.Count == 0 {
+		t.Errorf("pagedb.commit.ns counted %d commits, stats say %d applied", h.Count, st.Commits)
+	}
+	if g, ok := snap.Gauges["bufferpool.hits"]; !ok || g < 0 {
+		t.Errorf("bufferpool.hits gauge missing or negative: %d (present %v)", g, ok)
+	}
+}

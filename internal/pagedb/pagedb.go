@@ -49,9 +49,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/bufferpool"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -121,6 +123,13 @@ type DB struct {
 	commitPages  uint64
 	faults       uint64
 	stagedEvicts uint64
+
+	// obs handles, resolved once at Open; the registry is shared with the
+	// backing store and its cleaner (see internal/obs).
+	obsReg  *obs.Registry
+	hFault  *obs.Histogram // pagedb.fault.ns: store read on a cache miss
+	hCommit *obs.Histogram // pagedb.commit.ns: Commit latency
+	hBatch  *obs.Histogram // pagedb.commit.pages: batch size per commit
 }
 
 type evictRec struct {
@@ -141,6 +150,11 @@ func Open(opts Options) (*DB, error) {
 	if pageSize == 0 {
 		pageSize = 4096 // the store's own default
 	}
+	// One registry serves the whole stack: pagedb.* series land beside the
+	// store.* and cleaner.* series the store wires up itself.
+	if opts.Store.Obs == nil {
+		opts.Store.Obs = obs.New()
+	}
 	st, err := store.Open(opts.Store)
 	if err != nil {
 		return nil, err
@@ -156,6 +170,27 @@ func Open(opts Options) (*DB, error) {
 		trees:        make(map[string]*Tree),
 	}
 	db.pool.SetWriteBack(db.writeBack)
+	db.obsReg = opts.Store.Obs
+	db.hFault = db.obsReg.Histogram("pagedb.fault.ns")
+	db.hCommit = db.obsReg.Histogram("pagedb.commit.ns")
+	db.hBatch = db.obsReg.Histogram("pagedb.commit.pages")
+	// The pool is serialized by db.mu, so its counters are mirrored as
+	// snapshot-time gauges instead of per-op atomics.
+	db.obsReg.GaugeFunc("bufferpool.hits", func() int64 {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return int64(db.pool.Stats().Hits)
+	})
+	db.obsReg.GaugeFunc("bufferpool.misses", func() int64 {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return int64(db.pool.Stats().Misses)
+	})
+	db.obsReg.GaugeFunc("bufferpool.evictions", func() int64 {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return int64(db.pool.Stats().Evictions)
+	})
 
 	buf := make([]byte, pageSize)
 	switch err := st.ReadPage(metaPageID, buf); {
@@ -275,12 +310,15 @@ func (db *DB) finishOp(err error) error {
 // applied and the images stay staged for the next attempt. With the store
 // at core.DurCommit, Commit returns only after the batch is fsynced.
 func (db *DB) Commit() error {
+	t0 := time.Now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	return db.commitLocked()
+	err := db.commitLocked()
+	db.hCommit.Record(uint64(time.Since(t0)))
+	return err
 }
 
 func (db *DB) commitLocked() error {
@@ -384,6 +422,7 @@ func (db *DB) commitLocked() error {
 	db.metaOvf = len(ovf)
 	db.commits++
 	db.commitPages += uint64(len(ids)) + uint64(metaMembers)
+	db.hBatch.Record(uint64(len(ids)) + uint64(metaMembers))
 	return nil
 }
 
@@ -446,6 +485,11 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the database counters.
+// Obs returns the database's metrics registry (always non-nil), shared
+// with the backing store and its cleaner: pagedb.*, store.*, cleaner.*
+// and bufferpool.* series plus the trace events.
+func (db *DB) Obs() *obs.Registry { return db.obsReg }
+
 func (db *DB) Stats() Stats {
 	db.mu.Lock()
 	defer db.mu.Unlock()

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cleaner"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Batch collects page writes and deletions for one atomic Apply. Build it
@@ -316,10 +318,14 @@ type commitRound struct {
 // commitWait blocks until every record up to target is durable,
 // contributing to the group-commit statistics. Caller must not hold s.mu.
 func (s *Store) commitWait(target uint64) error {
+	t0 := time.Now()
 	s.gcm.mu.Lock()
 	s.gcm.commits++
 	s.gcm.mu.Unlock()
-	return s.waitDurable(target)
+	s.cCommits.Inc()
+	err := s.waitDurable(target)
+	s.hCommit.Record(uint64(time.Since(t0)))
+	return err
 }
 
 // waitDurable is the group fsync: one goroutine runs a flush round over
@@ -347,8 +353,12 @@ func (s *Store) waitDurable(target uint64) error {
 		g.mu.Lock()
 		g.rounds++
 		g.syncs += uint64(synced)
+		s.cRounds.Inc()
+		s.cSyncs.Add(uint64(synced))
+		s.trace.Emit(obs.EvCommitRound, int64(g.rounds), int64(g.syncs), int64(synced))
 		if err == nil && applied > g.durable {
 			g.durable = applied
+			s.trace.Emit(obs.EvWatermark, int64(applied))
 		}
 		r.err = err
 		g.cur = nil
@@ -383,7 +393,7 @@ func (s *Store) flushDirty() (applied uint64, synced int, err error) {
 	}
 	s.mu.Unlock()
 	for _, e := range segs {
-		if err := s.be.sync(int(e.seg)); err != nil {
+		if err := s.syncSeg(e.seg); err != nil {
 			return 0, synced, err
 		}
 		synced++
@@ -403,7 +413,7 @@ func (s *Store) flushDirty() (applied uint64, synced int, err error) {
 // variant of a group flush, where the caller already owns the lock.
 func (s *Store) syncAllDirtyLocked() error {
 	for seg := range s.dirty {
-		if err := s.be.sync(int(seg)); err != nil {
+		if err := s.syncSeg(seg); err != nil {
 			return err
 		}
 		delete(s.dirty, seg)
@@ -411,9 +421,19 @@ func (s *Store) syncAllDirtyLocked() error {
 	s.gcm.mu.Lock()
 	if s.seq > s.gcm.durable {
 		s.gcm.durable = s.seq
+		s.trace.Emit(obs.EvWatermark, int64(s.seq))
 	}
 	s.gcm.mu.Unlock()
 	return nil
+}
+
+// syncSeg fsyncs one segment through the backend, feeding the fsync
+// latency histogram.
+func (s *Store) syncSeg(seg int32) error {
+	t0 := time.Now()
+	err := s.be.sync(int(seg))
+	s.hFsync.Record(uint64(time.Since(t0)))
+	return err
 }
 
 // commitWatermarkLocked is the highest seq currently known fully durable:

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cleaner"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Cleaning is decomposed into the phases of the cleaner state machine
@@ -134,6 +135,7 @@ func (s *Store) selectVictimsLocked(max int) ([]int32, []cleanCand, error) {
 		// only when the victim is actually released (an aborted victim
 		// was not cleaned and will be re-selected).
 		s.pendingE[v] = m.Emptiness()
+		s.hVictimE.Record(uint64(m.Emptiness() * 1000))
 		for slot, si := range s.slots[v] {
 			loc, ok := s.locOf(si.page, si.tombstone)
 			if ok && loc.seg == v && loc.slot == int32(slot) {
@@ -289,7 +291,7 @@ func (s *Store) syncGCLocked() error {
 	case core.DurSeal:
 		segs := s.gcDirtyListLocked()
 		for _, g := range segs {
-			if err := s.be.sync(int(g)); err != nil {
+			if err := s.syncSeg(g); err != nil {
 				return err
 			}
 		}
@@ -408,7 +410,7 @@ func (t *cleanerTarget) Relocate(victims []int32) (int, int64, error) {
 		gs := s.gcDirtyListLocked()
 		s.mu.Unlock()
 		for _, g := range gs {
-			if err := s.be.sync(int(g)); err != nil {
+			if err := s.syncSeg(g); err != nil {
 				return installed, moved, err
 			}
 		}
@@ -685,6 +687,11 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the store's counters.
+// Obs returns the store's metrics registry (always non-nil): the store.*
+// and cleaner.* series plus the trace events, snapshottable at any time
+// with Registry.Snapshot.
+func (s *Store) Obs() *obs.Registry { return s.obsReg }
+
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	st := Stats{

@@ -50,9 +50,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cleaner"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ErrNotFound is returned when reading a page that does not exist.
@@ -115,6 +117,12 @@ type Options struct {
 	// Pacer is the admission controller consulted on every user write in
 	// background mode (default cleaner.FloorPacer{}).
 	Pacer cleaner.Pacer
+	// Obs receives the store's metrics (store.* series), the cleaner's, and
+	// trace events. Nil creates a private always-on registry — recording is
+	// one atomic add per event, so there is no "off" switch to configure.
+	// Embedding engines (pagedb) pass their own registry down so one
+	// snapshot covers the whole stack.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -173,6 +181,9 @@ func (o Options) withDefaults() (Options, error) {
 	// FreeHighWater, FreeEmergency and Pacer defaulting/validation live in
 	// cleaner.Options.withDefaults (one copy for every engine); zero values
 	// pass straight through to cleaner.Start.
+	if o.Obs == nil {
+		o.Obs = obs.New()
+	}
 	return o, nil
 }
 
@@ -250,6 +261,20 @@ type Store struct {
 	readBufs sync.Pool // per-reader record buffers (RLock held)
 
 	cl *cleaner.Cleaner // background cleaner; nil in foreground mode
+
+	// obs handles, resolved once at Open (see internal/obs; recording is
+	// lock-free, so no hot path takes a lock for metrics).
+	obsReg   *obs.Registry
+	hWrite   *obs.Histogram // store.write.ns: WritePage/DeletePage, admission to durability
+	hRead    *obs.Histogram // store.read.ns: ReadPage
+	hFsync   *obs.Histogram // store.fsync.ns: every backend fsync
+	hCommit  *obs.Histogram // store.commit.ns: DurCommit commit waits
+	hVictimE *obs.Histogram // store.victim_e.permille: emptiness at victim selection
+	cErrFull *obs.Counter   // store.errfull episodes
+	cCommits *obs.Counter   // store.commit.commits
+	cRounds  *obs.Counter   // store.commit.rounds
+	cSyncs   *obs.Counter   // store.commit.syncs
+	trace    *obs.Trace
 }
 
 type slotInfo struct {
@@ -292,6 +317,17 @@ func Open(opts Options) (*Store, error) {
 	for i := range s.open {
 		s.open[i] = -1
 	}
+	s.obsReg = opts.Obs
+	s.hWrite = opts.Obs.Histogram("store.write.ns")
+	s.hRead = opts.Obs.Histogram("store.read.ns")
+	s.hFsync = opts.Obs.Histogram("store.fsync.ns")
+	s.hCommit = opts.Obs.Histogram("store.commit.ns")
+	s.hVictimE = opts.Obs.Histogram("store.victim_e.permille")
+	s.cErrFull = opts.Obs.Counter("store.errfull")
+	s.cCommits = opts.Obs.Counter("store.commit.commits")
+	s.cRounds = opts.Obs.Counter("store.commit.rounds")
+	s.cSyncs = opts.Obs.Counter("store.commit.syncs")
+	s.trace = opts.Obs.Trace()
 	if opts.Algorithm.Router != nil {
 		s.clock = make(map[uint32]pageClock)
 	}
@@ -334,6 +370,7 @@ func Open(opts Options) (*Store, error) {
 			TotalSegments:  opts.MaxSegments,
 			Streams:        routedStreams,
 			Pacer:          opts.Pacer,
+			Obs:            opts.Obs,
 		})
 		if err != nil {
 			s.be.close()
@@ -609,6 +646,8 @@ func (s *Store) ReadPage(id uint32, buf []byte) error {
 	if len(buf) < s.opts.PageSize {
 		return fmt.Errorf("store: buffer %d smaller than page size %d", len(buf), s.opts.PageSize)
 	}
+	t0 := time.Now()
+	defer func() { s.hRead.Record(uint64(time.Since(t0))) }()
 	recBuf := s.readBufs.Get().(*[]byte)
 	defer s.readBufs.Put(recBuf)
 
@@ -682,6 +721,16 @@ func (s *Store) DeletePage(id uint32) error {
 // admission (which blocks below the emergency floor until the cleaner
 // catches up).
 func (s *Store) userWrite(id uint32, flags uint32, data []byte) error {
+	t0 := time.Now()
+	err := s.userWriteAdmitted(id, flags, data)
+	s.hWrite.Record(uint64(time.Since(t0)))
+	return err
+}
+
+// userWriteAdmitted is userWrite's retry loop, split out so the write
+// histogram covers the whole user-observed latency: admission, the append,
+// retries, and (under DurCommit) the group-commit wait.
+func (s *Store) userWriteAdmitted(id uint32, flags uint32, data []byte) error {
 	for attempt := 0; ; attempt++ {
 		if s.cl != nil {
 			if err := s.cl.Admit(); err != nil {
@@ -871,6 +920,8 @@ func (s *Store) appendRecord(stream int32, id uint32, flags uint32, pos uint32, 
 // GC output so relocation can always make progress.
 func (s *Store) openSegment(stream int32, need int) (int32, error) {
 	if len(s.free) < need {
+		s.cErrFull.Inc()
+		s.trace.Emit(obs.EvErrFull, int64(len(s.free)), int64(need))
 		return -1, ErrFull
 	}
 	seg := s.free[len(s.free)-1]
@@ -926,7 +977,7 @@ func (s *Store) seal(stream int32) error {
 	if s.opts.Durability == core.DurSeal {
 		// DurCommit skips the seal-time fsync: the group flush at commit
 		// time covers the sealed segment (it stays in the dirty set).
-		if err := s.be.sync(int(seg)); err != nil {
+		if err := s.syncSeg(seg); err != nil {
 			return err
 		}
 		delete(s.dirty, seg)

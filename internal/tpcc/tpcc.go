@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bufferpool"
+	"repro/internal/obs"
 )
 
 // Config scales the workload. The defaults are a deliberately reduced TPC-C
@@ -62,6 +63,11 @@ type Config struct {
 	CheckpointEveryTx int
 	// Seed fixes the run (default 1).
 	Seed int64
+	// Obs receives per-transaction-type latency histograms
+	// (tpcc.tx.<type>.ns). Nil creates a private registry; callers driving
+	// a durable backend usually pass the backend's own registry so one
+	// snapshot covers the whole stack.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +100,9 @@ func (c Config) withDefaults() Config {
 		if c.CachePages < 128 {
 			c.CachePages = 128
 		}
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
 	}
 	return c
 }
@@ -173,6 +182,11 @@ type engineShared struct {
 
 	cLast, cID, cOLI uint64 // NURand C constants
 
+	// reg and the per-transaction-type latency histograms are shared by
+	// every clone (resolved once at engine construction).
+	reg    *obs.Registry
+	txHist [5]*obs.Histogram
+
 	pads map[int][]byte // read-only after load
 
 	loadPages  int
@@ -234,7 +248,10 @@ func newEngine(cfg Config, be Backend, pool *bufferpool.Pool) (*Engine, error) {
 		be:   be,
 		pool: pool,
 		r:    rand.New(rand.NewPCG(uint64(cfg.Seed), 0x7c93a11b5d2f04e9)),
-		sh:   &engineShared{pads: make(map[int][]byte)},
+		sh:   &engineShared{pads: make(map[int][]byte), reg: cfg.Obs},
+	}
+	for t := TxNewOrder; t <= TxStockLevel; t++ {
+		e.sh.txHist[t] = cfg.Obs.Histogram("tpcc.tx." + t.String() + ".ns")
 	}
 	fields := []*Table{
 		&e.warehouse, &e.district, &e.customer, &e.custName, &e.orders,

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"time"
 
 	"repro/internal/bufferpool"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -65,6 +67,7 @@ func (e *Engine) RunConcurrent(total, workers int) error {
 func (e *Engine) RunOne() Tx {
 	w := 1 + e.r.IntN(e.cfg.Warehouses)
 	var tx Tx
+	t0 := time.Now()
 	switch p := e.r.IntN(100); {
 	case p < 45:
 		tx = TxNewOrder
@@ -82,6 +85,7 @@ func (e *Engine) RunOne() Tx {
 		tx = TxStockLevel
 		e.stockLevelTx(w)
 	}
+	e.sh.txHist[tx].Record(uint64(time.Since(t0)))
 	e.sh.txCounts[tx].Add(1)
 	if every := int64(e.cfg.CheckpointEveryTx); every > 0 {
 		if e.sh.txSinceCkp.Add(1) >= every {
@@ -273,6 +277,11 @@ type Stats struct {
 	TxCounts   [5]uint64
 	RunWrites  int
 }
+
+// Obs returns the engine's metrics registry (always non-nil): the
+// tpcc.tx.<type>.ns latency histograms, plus whatever the backend's stack
+// contributed when the caller shared its registry through Config.Obs.
+func (e *Engine) Obs() *obs.Registry { return e.sh.reg }
 
 // Stats returns engine counters.
 func (e *Engine) Stats() Stats {

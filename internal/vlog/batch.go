@@ -3,6 +3,7 @@ package vlog
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cleaner"
 	"repro/internal/core"
@@ -81,6 +82,15 @@ func (s *Store) Commit(b *Batch) error {
 			}
 		}
 	}
+	t0 := time.Now()
+	err := s.commitAdmitted(b)
+	s.hCommit.Record(uint64(time.Since(t0)))
+	return err
+}
+
+// commitAdmitted is Commit's retry loop, split out so the commit histogram
+// covers admission, planning, the apply, and retries.
+func (s *Store) commitAdmitted(b *Batch) error {
 	for attempt := 0; ; attempt++ {
 		if s.cl != nil {
 			if err := s.cl.AdmitN(len(b.ops)); err != nil {

@@ -98,6 +98,7 @@ func (s *Store) selectVictimsLocked(max int) ([]int32, []vCand, error) {
 		// Credited to the stats at release; an aborted victim was not
 		// cleaned and will be re-selected.
 		s.pendingE[v] = m.Emptiness()
+		s.hVictimE.Record(uint64(m.Emptiness() * 1000))
 		off := 0
 		for off < s.fill[v] {
 			l := loc{seg: v, off: int32(off)}

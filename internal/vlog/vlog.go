@@ -24,9 +24,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cleaner"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ErrFull means cleaning cannot reclaim enough space for the write.
@@ -75,6 +77,10 @@ type Options struct {
 	// Pacer is the admission controller for background mode (default
 	// cleaner.FloorPacer{}).
 	Pacer cleaner.Pacer
+	// Obs receives the store's metrics (vlog.* series), the cleaner's, and
+	// trace events. Nil creates a private always-on registry; see
+	// internal/obs.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -122,6 +128,9 @@ func (o Options) withDefaults() (Options, error) {
 	// FreeHighWater, FreeEmergency and Pacer defaulting/validation live in
 	// cleaner.Options.withDefaults (one copy for every engine); zero values
 	// pass straight through to cleaner.Start.
+	if o.Obs == nil {
+		o.Obs = obs.New()
+	}
 	return o, nil
 }
 
@@ -193,6 +202,15 @@ type Store struct {
 	pendingE                      map[int32]float64 // emptiness-at-selection of in-flight victims
 
 	cl *cleaner.Cleaner // background cleaner; nil in foreground mode
+
+	// obs handles, resolved once at New (see internal/obs).
+	obsReg   *obs.Registry
+	hPut     *obs.Histogram // vlog.put.ns: Put, admission through append
+	hGet     *obs.Histogram // vlog.get.ns
+	hCommit  *obs.Histogram // vlog.commit.ns: batch Commits
+	hVictimE *obs.Histogram // vlog.victim_e.permille
+	cErrFull *obs.Counter   // vlog.errfull episodes
+	trace    *obs.Trace
 }
 
 // New creates a store.
@@ -219,6 +237,13 @@ func New(opts Options) (*Store, error) {
 	for i := range s.open {
 		s.open[i].id = -1
 	}
+	s.obsReg = opts.Obs
+	s.hPut = opts.Obs.Histogram("vlog.put.ns")
+	s.hGet = opts.Obs.Histogram("vlog.get.ns")
+	s.hCommit = opts.Obs.Histogram("vlog.commit.ns")
+	s.hVictimE = opts.Obs.Histogram("vlog.victim_e.permille")
+	s.cErrFull = opts.Obs.Counter("vlog.errfull")
+	s.trace = opts.Obs.Trace()
 	if opts.Algorithm.Router != nil {
 		s.clock = make(map[string]keyClock)
 	}
@@ -239,6 +264,7 @@ func New(opts Options) (*Store, error) {
 			TotalSegments:  opts.MaxSegments,
 			Streams:        routedStreams,
 			Pacer:          opts.Pacer,
+			Obs:            opts.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -268,6 +294,8 @@ func recSize(key string, valLen int) int { return recHeader + len(key) + valLen 
 // Get returns a copy of the value stored under key. On a closed store every
 // key reads as absent (see the Store close contract).
 func (s *Store) Get(key string) ([]byte, bool) {
+	t0 := time.Now()
+	defer func() { s.hGet.Record(uint64(time.Since(t0))) }()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -297,6 +325,15 @@ func (s *Store) Put(key string, value []byte) error {
 	if size > s.opts.SegmentBytes {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, s.opts.SegmentBytes)
 	}
+	t0 := time.Now()
+	err := s.putAdmitted(key, value, size)
+	s.hPut.Record(uint64(time.Since(t0)))
+	return err
+}
+
+// putAdmitted is Put's retry loop, split out so the put histogram covers
+// the whole user-observed latency: admission, the append, and retries.
+func (s *Store) putAdmitted(key string, value []byte, size int) error {
 	for attempt := 0; ; attempt++ {
 		if s.cl != nil {
 			if err := s.cl.Admit(); err != nil {
@@ -447,6 +484,8 @@ func (s *Store) ensureRoom(stream int32, size int, gc bool) error {
 // background mode pass 2, leaving the last free segment for GC output).
 func (s *Store) openSegFor(stream int32, need int) error {
 	if len(s.free) < need {
+		s.cErrFull.Inc()
+		s.trace.Emit(obs.EvErrFull, int64(len(s.free)), int64(need))
 		return ErrFull
 	}
 	id := s.free[len(s.free)-1]
@@ -545,6 +584,11 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the store counters, zero on a closed store.
+// Obs returns the store's metrics registry (always non-nil): the vlog.*
+// and cleaner.* series plus the trace events, snapshottable at any time
+// with Registry.Snapshot.
+func (s *Store) Obs() *obs.Registry { return s.obsReg }
+
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	if s.closed {
