@@ -19,6 +19,27 @@
 // page, mutations Dirty it. Structural changes (splits, merges, root
 // changes) allocate and free page ids through the pool's allocator so that
 // all trees of a database share one page id space.
+//
+// # The NodeStore Fetch/Release contract
+//
+// The Core accesses nodes exclusively through the NodeStore interface, and
+// every access is bracketed: Fetch returns the node PINNED — the store must
+// keep the pointer valid and its mutations durable-trackable until the
+// matching Release — and the Core guarantees that by the time any operation
+// returns (error paths included) it has Released every node it Fetched.
+// Pins nest, Free discards the freed node's pins, and Release of a freed id
+// is a no-op. This discipline is what lets a store reclaim memory safely
+// underneath the tree: pagedb's buffer pool evicts only unpinned frames, so
+// concurrent readers can fault and evict against each other without ever
+// pulling a node out from under an in-flight operation. A store whose
+// nodes cannot disappear (the in-memory one here) implements Release as a
+// no-op and loses nothing.
+//
+// Concurrency: a Tree is safe for concurrent READERS (Get/Scan/Len/Height/
+// CheckInvariants) provided no writer runs at the same time — the read path
+// mutates nothing but the pool's replacement state, which synchronizes
+// itself. Writers need external serialization, and exclusion from readers,
+// exactly as before.
 package btree
 
 import "fmt"
@@ -153,6 +174,10 @@ func (s *memStore) Fetch(id uint32) (*Node, error) {
 	}
 	return nil, fmt.Errorf("node %d is not part of this tree", id)
 }
+
+// Release is a no-op: in-memory nodes can never be reclaimed mid-use, so
+// the pin protocol costs nothing here.
+func (s *memStore) Release(uint32) {}
 
 func (s *memStore) MarkDirty(id uint32) { s.pool.Dirty(id) }
 

@@ -62,10 +62,11 @@ type Node struct {
 }
 
 // NodeStore is the fallible fetch-by-id accessor the Core is written
-// against. The Core holds *Node pointers only within one operation; a store
-// may drop or re-materialize nodes between operations (internal/pagedb's
-// buffer pool does), but a pointer handed out by Fetch must stay valid — and
-// its mutations must not be lost — until the current tree operation returns.
+// against. The Core holds *Node pointers only between a Fetch and the
+// matching Release; a store may drop or re-materialize nodes at any other
+// time (internal/pagedb's buffer pool does), but a pointer handed out by
+// Fetch must stay valid — and its mutations must not be lost — until it is
+// Released.
 //
 // Contract:
 //
@@ -73,14 +74,26 @@ type Node struct {
 //     empty node under it, and reports it dirty to the store's residency
 //     tracking. The node is immediately Fetchable.
 //   - Fetch returns the current node for id, faulting it in from backing
-//     storage if needed, and records a read access.
+//     storage if needed, records a read access, and PINS the node: until
+//     the matching Release the store must not reclaim it. Pins nest — the
+//     Core may Fetch a node it already holds (delete's child re-fetch).
+//   - Release drops one pin taken by Fetch. The Core releases every node it
+//     fetches by the time an operation returns, on error paths included, so
+//     between operations no node is pinned. Releasing an id that was Freed
+//     after the Fetch is legal and a no-op.
 //   - MarkDirty records that the node for id has been (or is about to be)
 //     mutated, so the store's write-back machinery persists it.
 //   - Free releases id: the node is dropped and the id may be reallocated.
-//     No final write happens.
+//     No final write happens. Freeing a node that is still pinned discards
+//     its pins (the Core frees nodes it holds — a merge victim, a collapsed
+//     root).
+//
+// A store whose nodes can never be reclaimed mid-use (the in-memory
+// memStore) implements Release as a no-op.
 type NodeStore interface {
 	Alloc() (uint32, error)
 	Fetch(id uint32) (*Node, error)
+	Release(id uint32)
 	MarkDirty(id uint32)
 	Free(id uint32) error
 }
@@ -108,6 +121,7 @@ func NewCore(store NodeStore, pageSize int, layout Layout) (*Core, error) {
 		return nil, err
 	}
 	c.root = root.ID
+	store.Release(root.ID)
 	return c, nil
 }
 
@@ -138,7 +152,8 @@ func (c *Core) Len() int { return c.count }
 // Budget returns the per-node byte budget.
 func (c *Core) Budget() int { return c.budget }
 
-// alloc reserves a fresh node of the given kind.
+// alloc reserves a fresh node of the given kind. The node is returned
+// pinned (Fetch); the caller must Release it.
 func (c *Core) alloc(leaf bool) (*Node, error) {
 	id, err := c.store.Alloc()
 	if err != nil {
@@ -177,23 +192,30 @@ func (n *Node) childIndex(k uint64) int {
 	return idx
 }
 
-// Get returns the value stored under key. The slice aliases the node; the
-// caller must copy it if the tree may be mutated afterwards.
+// Get returns the value stored under key. The slice aliases the node, and
+// the node has been Released by the time Get returns: the caller must copy
+// the value while whatever guard serializes it against mutation (its own
+// lock, a read guard) still holds.
 func (c *Core) Get(key uint64) ([]byte, bool, error) {
 	n, err := c.store.Fetch(c.root)
-	for {
-		if err != nil {
+	if err != nil {
+		return nil, false, err
+	}
+	for !n.Leaf {
+		next := n.Kids[n.childIndex(key)]
+		c.store.Release(n.ID)
+		if n, err = c.store.Fetch(next); err != nil {
 			return nil, false, err
 		}
-		if n.Leaf {
-			i := search(n.Keys, key)
-			if i < len(n.Keys) && n.Keys[i] == key {
-				return n.Vals[i], true, nil
-			}
-			return nil, false, nil
-		}
-		n, err = c.store.Fetch(n.Kids[n.childIndex(key)])
 	}
+	i := search(n.Keys, key)
+	var v []byte
+	ok := i < len(n.Keys) && n.Keys[i] == key
+	if ok {
+		v = n.Vals[i]
+	}
+	c.store.Release(n.ID)
+	return v, ok, nil
 }
 
 // Insert stores value under key, replacing any existing value, and reports
@@ -221,6 +243,7 @@ func (c *Core) Insert(key uint64, value []byte) (added bool, err error) {
 		c.root = newRoot.ID
 		c.height++
 		c.store.MarkDirty(newRoot.ID)
+		c.store.Release(newRoot.ID)
 	}
 	return added, nil
 }
@@ -232,6 +255,7 @@ func (c *Core) insert(id uint32, key uint64, value []byte) (split uint32, sep ui
 	if err != nil {
 		return 0, 0, false, err
 	}
+	defer c.store.Release(id)
 	if n.Leaf {
 		c.store.MarkDirty(id)
 		i := search(n.Keys, key)
@@ -304,7 +328,9 @@ func (c *Core) splitLeaf(n *Node) (uint32, uint64, error) {
 	n.Next = right.ID
 	c.store.MarkDirty(n.ID)
 	c.store.MarkDirty(right.ID)
-	return right.ID, right.Keys[0], nil
+	id, sep := right.ID, right.Keys[0]
+	c.store.Release(right.ID)
+	return id, sep, nil
 }
 
 // splitBranch moves the upper half of a branch into a new right sibling; the
@@ -324,7 +350,9 @@ func (c *Core) splitBranch(n *Node) (uint32, uint64, error) {
 	n.NBytes = c.layout.BranchEntryBytes * len(n.Kids)
 	c.store.MarkDirty(n.ID)
 	c.store.MarkDirty(right.ID)
-	return right.ID, sep, nil
+	id := right.ID
+	c.store.Release(id)
+	return id, sep, nil
 }
 
 // Delete removes key, rebalancing (borrow first, then merge) on the way
@@ -346,9 +374,11 @@ func (c *Core) Delete(key uint64) (bool, error) {
 			return true, err
 		}
 		if n.Leaf || len(n.Kids) != 1 {
+			c.store.Release(n.ID)
 			break
 		}
 		child := n.Kids[0]
+		// Free discards the pin Fetch took (see NodeStore).
 		if err := c.store.Free(c.root); err != nil {
 			return true, err
 		}
@@ -363,6 +393,7 @@ func (c *Core) del(id uint32, key uint64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	defer c.store.Release(id)
 	if n.Leaf {
 		i := search(n.Keys, key)
 		if i >= len(n.Keys) || n.Keys[i] != key {
@@ -380,10 +411,14 @@ func (c *Core) del(id uint32, key uint64) (bool, error) {
 	if err != nil || !deleted {
 		return deleted, err
 	}
-	child, err := c.store.Fetch(n.Kids[ci])
+	childID := n.Kids[ci]
+	child, err := c.store.Fetch(childID)
 	if err != nil {
 		return true, err
 	}
+	// The child may be freed by a merge inside rebalance; Release of a
+	// freed id is a no-op by contract.
+	defer c.store.Release(childID)
 	if child.NBytes*4 < c.budget {
 		if err := c.rebalance(n, ci, child); err != nil {
 			return true, err
@@ -399,9 +434,20 @@ func (c *Core) del(id uint32, key uint64) (bool, error) {
 func (c *Core) rebalance(n *Node, ci int, child *Node) error {
 	var left, right *Node
 	var err error
+	// Both siblings are released on every exit path. A merge may Free one
+	// of them first; releasing a freed id is a no-op by contract.
+	defer func() {
+		if left != nil {
+			c.store.Release(left.ID)
+		}
+		if right != nil {
+			c.store.Release(right.ID)
+		}
+	}()
 	// Prefer borrowing from the left sibling, then the right.
 	if ci > 0 {
 		if left, err = c.store.Fetch(n.Kids[ci-1]); err != nil {
+			left = nil
 			return err
 		}
 		if left.NBytes*2 > c.budget {
@@ -411,6 +457,7 @@ func (c *Core) rebalance(n *Node, ci int, child *Node) error {
 	}
 	if ci+1 < len(n.Kids) {
 		if right, err = c.store.Fetch(n.Kids[ci+1]); err != nil {
+			right = nil
 			return err
 		}
 		if right.NBytes*2 > c.budget {
@@ -513,14 +560,17 @@ func (c *Core) merge(n *Node, ci int, left, right *Node) error {
 
 // Scan visits keys in [from, to] in order, stopping early if fn returns
 // false. The value slice passed to fn aliases the node: fn must not modify
-// or retain it, and must not call back into the tree.
+// or retain it, and must not call back into the tree. The leaf being
+// visited stays pinned while fn runs.
 func (c *Core) Scan(from, to uint64, fn func(key uint64, value []byte) bool) error {
 	n, err := c.store.Fetch(c.root)
 	if err != nil {
 		return err
 	}
 	for !n.Leaf {
-		if n, err = c.store.Fetch(n.Kids[n.childIndex(from)]); err != nil {
+		next := n.Kids[n.childIndex(from)]
+		c.store.Release(n.ID)
+		if n, err = c.store.Fetch(next); err != nil {
 			return err
 		}
 	}
@@ -530,13 +580,16 @@ func (c *Core) Scan(from, to uint64, fn func(key uint64, value []byte) bool) err
 				continue
 			}
 			if k > to || !fn(k, n.Vals[i]) {
+				c.store.Release(n.ID)
 				return nil
 			}
 		}
-		if n.Next == 0 {
+		next := n.Next
+		c.store.Release(n.ID)
+		if next == 0 {
 			return nil
 		}
-		if n, err = c.store.Fetch(n.Next); err != nil {
+		if n, err = c.store.Fetch(next); err != nil {
 			return err
 		}
 	}
@@ -559,12 +612,14 @@ func (c *Core) collect(id uint32, depth int, dst []uint32) ([]uint32, error) {
 	if err != nil {
 		return dst, err
 	}
+	var kids []uint32
 	if !n.Leaf {
-		kids := append([]uint32(nil), n.Kids...)
-		for _, kid := range kids {
-			if dst, err = c.collect(kid, depth-1, dst); err != nil {
-				return dst, err
-			}
+		kids = append(kids, n.Kids...)
+	}
+	c.store.Release(id)
+	for _, kid := range kids {
+		if dst, err = c.collect(kid, depth-1, dst); err != nil {
+			return dst, err
 		}
 	}
 	return append(dst, id), nil

@@ -31,6 +31,7 @@ func (c *Core) Check() error {
 		if err != nil {
 			return fmt.Errorf("fetching node %d: %w", id, err)
 		}
+		defer c.store.Release(id)
 		for i, k := range n.Keys {
 			if i > 0 && n.Keys[i-1] >= k {
 				return fmt.Errorf("node %d: keys out of order at %d", id, i)
@@ -110,7 +111,9 @@ func (c *Core) Check() error {
 		if err != nil {
 			return fmt.Errorf("fetching chain leaf %d: %w", id, err)
 		}
-		id = n.Next
+		next := n.Next
+		c.store.Release(id)
+		id = next
 	}
 	if id != 0 {
 		return fmt.Errorf("leaf chain longer than traversal (extra node %d)", id)
@@ -143,6 +146,8 @@ func (s pageFetchStore) Fetch(id uint32) (*Node, error) {
 	}
 	return NodeOfPage(id, p, PageLayout), nil
 }
+
+func (s pageFetchStore) Release(uint32) {}
 
 func (s pageFetchStore) MarkDirty(uint32) {}
 

@@ -7,15 +7,33 @@
 // the durable internal/pagedb database, where evictions and flushes write
 // real page images back to the log-structured store.
 //
-// The pool implements the CLOCK (second chance) replacement policy. Page
-// contents live with their owners (the B+-tree keeps its nodes; only the
-// write ORDER matters to the log-structure simulator), so the pool tracks
-// residency, reference and dirty bits. Without a write-back callback it
-// appends a page id to the trace whenever a dirty page is evicted or
-// flushed; with one, the callback consumes those write-backs instead.
+// The pool implements the CLOCK (second chance) replacement policy over N
+// independent shards, each a CLOCK region with its own mutex, hand and
+// frame ring, keyed by a page-id hash. Operations on different shards never
+// contend, so concurrent readers scale with the shard count; New creates
+// the historical single-shard pool (byte-identical replacement behavior for
+// the §6.3 trace engine), NewSharded the concurrent one.
+//
+// Frames carry an atomic pin count (Pin/Unpin): a pinned frame is never
+// chosen as an eviction victim, so an engine reading a page's contents can
+// hold it stable without a pool-wide lock. If every frame of a shard is
+// pinned the shard grows past its nominal capacity rather than fail — the
+// pool's contract stays infallible and the overshoot is reported in Stats.
+//
+// Page contents live with their owners (the B+-tree keeps its nodes; only
+// the write ORDER matters to the log-structure simulator), so the pool
+// tracks residency, reference, dirty bits and pins. Without a write-back
+// callback it appends a page id to the trace whenever a dirty page is
+// evicted or flushed; with one, the callback consumes those write-backs
+// instead.
 package bufferpool
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // WriteBackFunc is the pluggable write-back hook (SetWriteBack). The pool
 // invokes it
@@ -25,76 +43,182 @@ import "fmt"
 //     The owner should persist (or stage) a dirty page's contents and drop
 //     any decoded copy it keeps. The frame is reclaimed even if the callback
 //     fails — the owner keeps responsibility for the data it was handed —
-//     but the error is retained (Err) and counted, never silently dropped.
+//     but the error is retained (Err) and counted, never silently dropped,
+//     regardless of which shard evicted.
 //   - when a dirty frame is FLUSHED (evicted=false, dirty=true) by
 //     FlushDirty: the page stays resident and is marked clean only if the
 //     callback succeeds; a failing page stays dirty and the error is
 //     returned to the FlushDirty caller as well as retained.
 //
 // The callback runs synchronously inside pool operations (Touch, Dirty,
-// Allocate, FlushDirty) and must not call back into the pool.
+// Pin, Allocate, FlushDirty) with the evicting shard's mutex held: it must
+// not call back into the pool, but may take the owner's own (finer) locks.
 type WriteBackFunc func(id uint32, dirty, evicted bool) error
 
-// Pool is a CLOCK buffer cache over an abstract page id space. It also owns
-// page id allocation so that multiple B+-trees (the TPC-C tables) share one
-// id space, as they would share one tablespace file.
+// Pool is a sharded CLOCK buffer cache over an abstract page id space. It
+// also owns page id allocation so that multiple B+-trees (the TPC-C tables)
+// share one id space, as they would share one tablespace file.
+//
+// Every method is safe for concurrent use EXCEPT SetWriteBack, Seed and
+// ClearErr, which must be called before (or between) concurrent phases.
 type Pool struct {
 	capacity int
+	shards   []*shard
+	shift    uint32 // hash bits discarded; shardOf = hash >> shift
 
-	frames map[uint32]int // page id -> ring index
-	ring   []frame
-	hand   int
-
+	// Page id allocator: shared by all shards (ids are global resources).
+	amu     sync.Mutex
 	nextID  uint32
 	freeIDs []uint32
 
-	writes []uint32
-
 	writeBack WriteBackFunc
-	wbErr     error // first write-back failure, sticky
 
-	hits, misses   uint64
+	// First write-back failure from ANY shard, sticky (see Err).
+	emu   sync.Mutex
+	wbErr error
+
+	// Page-write trace (only without a write-back callback). A single
+	// ordered trace is kept across shards: under the single-threaded use of
+	// the trace engine it is exactly the historical eviction/flush order.
+	tmu    sync.Mutex
+	writes []uint32
+}
+
+// shard is one CLOCK region. The mutex is an RWMutex so the HIT path — by
+// far the hottest — takes only the shared side: a resident page's ref,
+// dirty and pin bits are atomics, so concurrent readers hitting the same
+// shard update them without serializing. Structural changes (insert,
+// evict, free, flush, the CLOCK sweep) take the exclusive side, which also
+// freezes every hit-path reader out, so the sweep may read frames plainly.
+type shard struct {
+	mu     sync.RWMutex
+	cap    int // nominal frame budget; the ring may grow past it (pins)
+	frames map[uint32]int
+	ring   []frame
+	hand   int
+
+	hits           uint64 // atomic: bumped under the shared lock
+	misses         uint64
 	evictions      uint64
 	dirtyEvictions uint64
 	flushes        uint64
 	writeBacks     uint64
 	writeBackErrs  uint64
+	grows          uint64
 }
 
+// frame bits are manipulated atomically where the shared-lock hit path
+// touches them (ref, dirty, pins); id and live change only under the
+// exclusive lock.
 type frame struct {
 	id    uint32
-	ref   bool
-	dirty bool
+	ref   int32 // atomic bool
+	dirty int32 // atomic bool
 	live  bool
+	pins  int32 // atomic; >0 exempts the frame from eviction
 }
 
-// New returns a pool holding at most capacity pages.
-func New(capacity int) *Pool {
+// New returns a single-shard pool holding at most capacity pages — the
+// historical CLOCK pool, with byte-identical replacement behavior (the
+// §6.3 trace engine depends on it).
+func New(capacity int) *Pool { return NewSharded(capacity, 1) }
+
+// DefaultShards returns the shard count sized for this process: the
+// smallest power of two >= GOMAXPROCS, between 1 and 64.
+func DefaultShards() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
+}
+
+// NewSharded returns a pool of `shards` independent CLOCK regions sharing
+// the capacity. The shard count is rounded up to a power of two and capped
+// so that every shard holds at least one frame.
+func NewSharded(capacity, shards int) *Pool {
 	if capacity < 1 {
 		panic(fmt.Sprintf("bufferpool: capacity %d < 1", capacity))
 	}
-	return &Pool{
-		capacity: capacity,
-		frames:   make(map[uint32]int, capacity),
-		ring:     make([]frame, 0, capacity),
+	if shards < 1 {
+		shards = 1
 	}
+	n := 1
+	for n < shards && n < 256 {
+		n <<= 1
+	}
+	for n > capacity {
+		n >>= 1
+	}
+	p := &Pool{
+		capacity: capacity,
+		shards:   make([]*shard, n),
+		shift:    32,
+	}
+	for 1<<(32-p.shift) < n {
+		p.shift--
+	}
+	per := (capacity + n - 1) / n
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			cap:    per,
+			frames: make(map[uint32]int, per),
+		}
+	}
+	return p
 }
+
+// Shards returns the number of CLOCK regions.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// ShardOf returns the shard index page id maps to (stable for the life of
+// the pool).
+func (p *Pool) ShardOf(id uint32) int { return int(p.shardIdx(id)) }
+
+// shardIdx hashes a page id to its shard: a Fibonacci multiplicative hash
+// keeps sequentially allocated ids spread evenly. Deterministic, so the
+// trace engine stays reproducible at any shard count.
+func (p *Pool) shardIdx(id uint32) uint32 {
+	if p.shift == 32 {
+		return 0 // single shard; id*c>>32 is a shift-width violation
+	}
+	return (id * 2654435769) >> p.shift
+}
+
+func (p *Pool) shard(id uint32) *shard { return p.shards[p.shardIdx(id)] }
 
 // SetWriteBack installs the write-back callback (see WriteBackFunc). While
 // a callback is set the pool stops recording the page-write trace — the
 // callback consumes every write-back instead. Install it before the pool
-// holds dirty pages.
+// holds dirty pages and before any concurrent use.
 func (p *Pool) SetWriteBack(fn WriteBackFunc) { p.writeBack = fn }
 
-// Err returns the first write-back callback failure, or nil. It stays set
-// (the pool has no way to retry an eviction) so owners can check it at a
-// commit boundary; wiring a new callback with SetWriteBack clears it only
-// if the owner calls ClearErr.
-func (p *Pool) Err() error { return p.wbErr }
+// Err returns the first write-back callback failure from any shard, or
+// nil. It stays set (the pool has no way to retry an eviction) so owners
+// can check it at a commit boundary; wiring a new callback with
+// SetWriteBack clears it only if the owner calls ClearErr.
+func (p *Pool) Err() error {
+	p.emu.Lock()
+	defer p.emu.Unlock()
+	return p.wbErr
+}
 
 // ClearErr discards the sticky write-back error after the owner has
 // handled it.
-func (p *Pool) ClearErr() { p.wbErr = nil }
+func (p *Pool) ClearErr() {
+	p.emu.Lock()
+	p.wbErr = nil
+	p.emu.Unlock()
+}
+
+// noteErr retains the first write-back failure across all shards.
+func (p *Pool) noteErr(err error) {
+	p.emu.Lock()
+	if p.wbErr == nil {
+		p.wbErr = err
+	}
+	p.emu.Unlock()
+}
 
 // Seed restores the allocator state of a reopened database: the next fresh
 // page id and the persisted free list. It must be called on an empty pool,
@@ -102,7 +226,17 @@ func (p *Pool) ClearErr() { p.wbErr = nil }
 // reserve page id 0 on a fresh pool — the unified tree core's nil
 // leaf-chain link, and pagedb's metadata page.
 func (p *Pool) Seed(nextID uint32, free []uint32) {
-	if len(p.frames) != 0 || p.nextID != 0 || len(p.freeIDs) != 0 {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n := len(s.frames)
+		s.mu.Unlock()
+		if n != 0 {
+			panic("bufferpool: Seed on a pool already in use")
+		}
+	}
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	if p.nextID != 0 || len(p.freeIDs) != 0 {
 		panic("bufferpool: Seed on a pool already in use")
 	}
 	p.nextID = nextID
@@ -112,12 +246,15 @@ func (p *Pool) Seed(nextID uint32, free []uint32) {
 // FreeList returns a copy of the free page ids currently available for
 // reallocation (for persisting allocator state).
 func (p *Pool) FreeList() []uint32 {
+	p.amu.Lock()
+	defer p.amu.Unlock()
 	return append([]uint32(nil), p.freeIDs...)
 }
 
 // Allocate returns a fresh page id, resident and dirty (a newly created page
 // must eventually reach storage).
 func (p *Pool) Allocate() uint32 {
+	p.amu.Lock()
 	var id uint32
 	if n := len(p.freeIDs); n > 0 {
 		id = p.freeIDs[n-1]
@@ -126,134 +263,245 @@ func (p *Pool) Allocate() uint32 {
 		id = p.nextID
 		p.nextID++
 	}
-	p.admit(id, true)
+	p.amu.Unlock()
+	s := p.shard(id)
+	s.mu.Lock()
+	s.insert(p, id, true, false)
+	s.mu.Unlock()
 	return id
 }
 
 // FreePage returns a page id to the allocator. A freed page needs no final
-// write, so its frame is dropped clean and no write-back is issued.
+// write, so its frame is dropped clean and no write-back is issued. Pins on
+// the frame are discarded — a Free is an explicit ownership statement, and
+// a later Unpin of the freed id is a no-op.
 func (p *Pool) FreePage(id uint32) {
-	if idx, ok := p.frames[id]; ok {
-		p.ring[idx].live = false
-		p.ring[idx].dirty = false
-		delete(p.frames, id)
+	s := p.shard(id)
+	s.mu.Lock()
+	if idx, ok := s.frames[id]; ok {
+		f := &s.ring[idx]
+		f.live = false
+		f.dirty = 0
+		atomic.StoreInt32(&f.pins, 0)
+		delete(s.frames, id)
 	}
+	s.mu.Unlock()
+	p.amu.Lock()
 	p.freeIDs = append(p.freeIDs, id)
+	p.amu.Unlock()
 }
 
 // Touch records a read access: a hit refreshes the reference bit, a miss
 // faults the page in (evicting if full).
-func (p *Pool) Touch(id uint32) {
-	if idx, ok := p.frames[id]; ok {
-		p.ring[idx].ref = true
-		p.hits++
-		return
-	}
-	p.misses++
-	p.admit(id, false)
-}
+func (p *Pool) Touch(id uint32) { p.access(id, false, false) }
 
 // Dirty records a write access: Touch plus the dirty bit.
-func (p *Pool) Dirty(id uint32) {
-	if idx, ok := p.frames[id]; ok {
-		p.ring[idx].ref = true
-		p.ring[idx].dirty = true
-		p.hits++
+func (p *Pool) Dirty(id uint32) { p.access(id, true, false) }
+
+// Pin records a read access and pins the page's frame: until the matching
+// Unpin, the frame is exempt from eviction, so the owner may hold the
+// page's contents across the access without the pool reclaiming them. Pins
+// nest (a counter, not a flag).
+func (p *Pool) Pin(id uint32) { p.access(id, false, true) }
+
+// Unpin releases one pin. Unpinning a page that is no longer resident
+// (freed mid-operation, e.g. by a B+-tree merge) is a no-op.
+func (p *Pool) Unpin(id uint32) {
+	s := p.shard(id)
+	s.mu.RLock()
+	if idx, ok := s.frames[id]; ok {
+		f := &s.ring[idx]
+		// Decrement without going below zero (a spurious extra Unpin is
+		// defined as a no-op, not a license to evict a pinned frame).
+		for {
+			n := atomic.LoadInt32(&f.pins)
+			if n <= 0 || atomic.CompareAndSwapInt32(&f.pins, n, n-1) {
+				break
+			}
+		}
+	}
+	s.mu.RUnlock()
+}
+
+func (p *Pool) access(id uint32, dirty, pin bool) {
+	s := p.shard(id)
+	// Fast path: a HIT only needs the shared lock — the frame table is
+	// stable and the bits are atomics, so concurrent hits on one shard
+	// don't serialize.
+	s.mu.RLock()
+	if idx, ok := s.frames[id]; ok {
+		f := &s.ring[idx]
+		s.touch(f, dirty, pin)
+		atomic.AddUint64(&s.hits, 1)
+		s.mu.RUnlock()
 		return
 	}
-	p.misses++
-	p.admit(id, true)
+	s.mu.RUnlock()
+	s.mu.Lock()
+	if idx, ok := s.frames[id]; ok {
+		// Another goroutine faulted the page between our two lock takes.
+		f := &s.ring[idx]
+		s.touch(f, dirty, pin)
+		s.hits++
+		s.mu.Unlock()
+		return
+	}
+	s.misses++
+	s.insert(p, id, dirty, pin)
+	s.mu.Unlock()
+}
+
+// touch applies one access to a resident frame. Caller holds s.mu (either
+// side).
+func (s *shard) touch(f *frame, dirty, pin bool) {
+	atomic.StoreInt32(&f.ref, 1)
+	if dirty {
+		atomic.StoreInt32(&f.dirty, 1)
+	}
+	if pin {
+		atomic.AddInt32(&f.pins, 1)
+	}
 }
 
 // IsResident reports whether page id currently occupies a frame.
 func (p *Pool) IsResident(id uint32) bool {
-	_, ok := p.frames[id]
+	s := p.shard(id)
+	s.mu.RLock()
+	_, ok := s.frames[id]
+	s.mu.RUnlock()
 	return ok
 }
 
 // IsDirty reports whether page id is resident with its dirty bit set.
 func (p *Pool) IsDirty(id uint32) bool {
-	idx, ok := p.frames[id]
-	return ok && p.ring[idx].dirty
+	s := p.shard(id)
+	s.mu.RLock()
+	idx, ok := s.frames[id]
+	d := ok && atomic.LoadInt32(&s.ring[idx].dirty) != 0
+	s.mu.RUnlock()
+	return d
 }
 
-// admit inserts a page, evicting a victim when the pool is full.
-func (p *Pool) admit(id uint32, dirty bool) {
-	if len(p.ring) < p.capacity {
-		p.ring = append(p.ring, frame{id: id, ref: true, dirty: dirty, live: true})
-		p.frames[id] = len(p.ring) - 1
+// insert places a page into the shard, evicting a victim when the shard is
+// at capacity. Caller holds s.mu exclusively, so frames may be read and
+// written plainly — no hit-path reader is running.
+func (s *shard) insert(p *Pool, id uint32, dirty, pin bool) {
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, frame{id: id, ref: 1, dirty: b2i(dirty), live: true, pins: pinCount(pin)})
+		s.frames[id] = len(s.ring) - 1
 		return
 	}
-	// CLOCK sweep: give referenced frames a second chance; dead frames
-	// (freed pages) are taken immediately.
+	// CLOCK sweep: give referenced frames a second chance, skip pinned
+	// frames entirely; dead frames (freed pages) are taken immediately. If
+	// two full turns find no victim (everything pinned), grow the ring — the
+	// pool must not fail and must not reclaim a pinned frame.
+	steps, limit := 0, 2*len(s.ring)
 	for {
-		f := &p.ring[p.hand]
+		f := &s.ring[s.hand]
 		if !f.live {
 			break
 		}
-		if f.ref {
-			f.ref = false
-			p.hand = (p.hand + 1) % len(p.ring)
+		if f.pins > 0 {
+			s.hand = (s.hand + 1) % len(s.ring)
+			if steps++; steps >= limit {
+				s.grows++
+				s.ring = append(s.ring, frame{})
+				s.hand = len(s.ring) - 1
+				break
+			}
+			continue
+		}
+		if f.ref != 0 {
+			f.ref = 0
+			s.hand = (s.hand + 1) % len(s.ring)
+			if steps++; steps >= limit {
+				s.grows++
+				s.ring = append(s.ring, frame{})
+				s.hand = len(s.ring) - 1
+				break
+			}
 			continue
 		}
 		break
 	}
-	victim := &p.ring[p.hand]
+	victim := &s.ring[s.hand]
 	if victim.live {
-		p.evictions++
-		if victim.dirty {
-			p.dirtyEvictions++
+		s.evictions++
+		if victim.dirty != 0 {
+			s.dirtyEvictions++
 		}
 		if p.writeBack != nil {
-			p.writeBacks++
-			if err := p.writeBack(victim.id, victim.dirty, true); err != nil {
-				p.writeBackErrs++
-				if p.wbErr == nil {
-					p.wbErr = fmt.Errorf("bufferpool: write-back of evicted page %d: %w", victim.id, err)
-				}
+			s.writeBacks++
+			if err := p.writeBack(victim.id, victim.dirty != 0, true); err != nil {
+				s.writeBackErrs++
+				p.noteErr(fmt.Errorf("bufferpool: write-back of evicted page %d: %w", victim.id, err))
 			}
-		} else if victim.dirty {
+		} else if victim.dirty != 0 {
+			p.tmu.Lock()
 			p.writes = append(p.writes, victim.id)
+			p.tmu.Unlock()
 		}
-		delete(p.frames, victim.id)
+		delete(s.frames, victim.id)
 	}
-	*victim = frame{id: id, ref: true, dirty: dirty, live: true}
-	p.frames[id] = p.hand
-	p.hand = (p.hand + 1) % len(p.ring)
+	victim.id = id
+	victim.ref = 1
+	victim.dirty = b2i(dirty)
+	victim.live = true
+	victim.pins = pinCount(pin)
+	s.frames[id] = s.hand
+	s.hand = (s.hand + 1) % len(s.ring)
+}
+
+func pinCount(pin bool) int32 {
+	if pin {
+		return 1
+	}
+	return 0
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // FlushDirty writes out every dirty resident page (a checkpoint). Pages stay
-// resident and are marked clean once written. The flush order is frame
-// order, which approximates the page-id ordered background writes of a
-// checkpointer. With a write-back callback, a page whose callback fails
+// resident and are marked clean once written. The flush order is shard then
+// frame order, which approximates the page-id ordered background writes of
+// a checkpointer. With a write-back callback, a page whose callback fails
 // STAYS dirty and the first such error is returned (and retained in Err);
-// the sweep still visits every dirty page.
+// the sweep still visits every dirty page of every shard.
 func (p *Pool) FlushDirty() (int, error) {
 	n := 0
 	var firstErr error
-	for i := range p.ring {
-		f := &p.ring[i]
-		if !f.live || !f.dirty {
-			continue
-		}
-		if p.writeBack != nil {
-			p.writeBacks++
-			if err := p.writeBack(f.id, true, false); err != nil {
-				p.writeBackErrs++
-				if p.wbErr == nil {
-					p.wbErr = fmt.Errorf("bufferpool: flush of page %d: %w", f.id, err)
-				}
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue // the page stays dirty
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for i := range s.ring {
+			f := &s.ring[i]
+			if !f.live || f.dirty == 0 {
+				continue
 			}
-		} else {
-			p.writes = append(p.writes, f.id)
+			if p.writeBack != nil {
+				s.writeBacks++
+				if err := p.writeBack(f.id, true, false); err != nil {
+					s.writeBackErrs++
+					p.noteErr(fmt.Errorf("bufferpool: flush of page %d: %w", f.id, err))
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue // the page stays dirty
+				}
+			} else {
+				p.tmu.Lock()
+				p.writes = append(p.writes, f.id)
+				p.tmu.Unlock()
+			}
+			f.dirty = 0
+			s.flushes++
+			n++
 		}
-		f.dirty = false
-		p.flushes++
-		n++
+		s.mu.Unlock()
 	}
 	return n, firstErr
 }
@@ -261,17 +509,50 @@ func (p *Pool) FlushDirty() (int, error) {
 // Writes returns the page-write trace accumulated so far (empty when a
 // write-back callback is installed). The caller must not retain it across
 // further pool activity.
-func (p *Pool) Writes() []uint32 { return p.writes }
+func (p *Pool) Writes() []uint32 {
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	return p.writes
+}
 
 // MaxPageID returns the page universe size (max allocated id + 1).
-func (p *Pool) MaxPageID() uint32 { return p.nextID }
+func (p *Pool) MaxPageID() uint32 {
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	return p.nextID
+}
 
 // Resident returns the number of pages currently cached.
-func (p *Pool) Resident() int { return len(p.frames) }
+func (p *Pool) Resident() int {
+	n := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
+}
 
-// Stats summarizes pool activity.
+// Pinned returns the number of frames currently holding at least one pin
+// (an engine-level invariant check: between operations it must be zero).
+func (p *Pool) Pinned() int {
+	n := 0
+	for _, s := range p.shards {
+		s.mu.RLock()
+		for i := range s.ring {
+			if s.ring[i].live && atomic.LoadInt32(&s.ring[i].pins) > 0 {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats summarizes pool activity across all shards.
 type Stats struct {
 	Capacity       int
+	Shards         int
 	Hits, Misses   uint64
 	Evictions      uint64
 	DirtyEvictions uint64
@@ -280,21 +561,85 @@ type Stats struct {
 	// flushes); WriteBackErrors counts the ones that failed.
 	WriteBacks      uint64
 	WriteBackErrors uint64
-	TraceLen        int
+	// Grows counts frames added past a shard's nominal capacity because
+	// every resident frame was pinned when a victim was needed.
+	Grows    uint64
+	TraceLen int
 }
 
-// Stats returns a snapshot of the pool counters.
+// ShardStats is one shard's point-in-time state (per-shard observability).
+type ShardStats struct {
+	Residents int
+	Dirty     int
+	Pinned    int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats returns a snapshot of the pool counters, aggregated over shards.
 func (p *Pool) Stats() Stats {
-	return Stats{
-		Capacity: p.capacity,
-		Hits:     p.hits, Misses: p.misses,
-		Evictions:       p.evictions,
-		DirtyEvictions:  p.dirtyEvictions,
-		Flushes:         p.flushes,
-		WriteBacks:      p.writeBacks,
-		WriteBackErrors: p.writeBackErrs,
-		TraceLen:        len(p.writes),
+	st := Stats{Capacity: p.capacity, Shards: len(p.shards)}
+	for _, s := range p.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.DirtyEvictions += s.dirtyEvictions
+		st.Flushes += s.flushes
+		st.WriteBacks += s.writeBacks
+		st.WriteBackErrors += s.writeBackErrs
+		st.Grows += s.grows
+		s.mu.Unlock()
 	}
+	p.tmu.Lock()
+	st.TraceLen = len(p.writes)
+	p.tmu.Unlock()
+	return st
+}
+
+// ShardStat returns one shard's snapshot without touching the others (for
+// per-shard gauges, where scanning every shard per metric would be
+// quadratic).
+func (p *Pool) ShardStat(i int) ShardStats {
+	s := p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshot()
+}
+
+// snapshot summarizes one shard. Caller holds s.mu exclusively.
+func (s *shard) snapshot() ShardStats {
+	ss := ShardStats{
+		Residents: len(s.frames),
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+	}
+	for j := range s.ring {
+		f := &s.ring[j]
+		if !f.live {
+			continue
+		}
+		if f.dirty != 0 {
+			ss.Dirty++
+		}
+		if f.pins > 0 {
+			ss.Pinned++
+		}
+	}
+	return ss
+}
+
+// ShardStats returns the per-shard snapshot, indexed by shard.
+func (p *Pool) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		out[i] = s.snapshot()
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any access.

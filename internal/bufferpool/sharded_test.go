@@ -1,0 +1,242 @@
+package bufferpool
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// idInShard returns a page id >= 1 that hashes to the given shard.
+func idInShard(t *testing.T, p *Pool, shard int) uint32 {
+	t.Helper()
+	for id := uint32(1); id < 1<<20; id++ {
+		if p.ShardOf(id) == shard {
+			return id
+		}
+	}
+	t.Fatalf("no page id maps to shard %d", shard)
+	return 0
+}
+
+func TestNewShardedRounding(t *testing.T) {
+	cases := []struct {
+		capacity, shards, want int
+	}{
+		{16, 1, 1},
+		{16, 3, 4}, // rounded up to a power of two
+		{16, 16, 16},
+		{4, 64, 4}, // capped: every shard needs at least one frame
+		{1, 8, 1},
+		{100, 0, 1},
+	}
+	for _, c := range cases {
+		if got := NewSharded(c.capacity, c.shards).Shards(); got != c.want {
+			t.Errorf("NewSharded(%d, %d).Shards() = %d, want %d", c.capacity, c.shards, got, c.want)
+		}
+	}
+	if got := New(16).Shards(); got != 1 {
+		t.Errorf("New(16).Shards() = %d, want the historical single shard", got)
+	}
+}
+
+func TestShardOfIsStableAndInRange(t *testing.T) {
+	p := NewSharded(64, 8)
+	for id := uint32(0); id < 1000; id++ {
+		s := p.ShardOf(id)
+		if s < 0 || s >= p.Shards() {
+			t.Fatalf("ShardOf(%d) = %d out of range [0,%d)", id, s, p.Shards())
+		}
+		if again := p.ShardOf(id); again != s {
+			t.Fatalf("ShardOf(%d) unstable: %d then %d", id, s, again)
+		}
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	p := New(3) // single shard: evictions are deterministic
+	p.Touch(1)
+	p.Pin(2)
+	p.Touch(3)
+	// Fault enough new pages through the full pool to evict every unpinned
+	// frame several times over.
+	for id := uint32(10); id < 30; id++ {
+		p.Touch(id)
+	}
+	if !p.IsResident(2) {
+		t.Fatal("pinned page 2 was evicted")
+	}
+	if p.Pinned() != 1 {
+		t.Fatalf("Pinned() = %d, want 1", p.Pinned())
+	}
+	p.Unpin(2)
+	if p.Pinned() != 0 {
+		t.Fatalf("Pinned() after Unpin = %d, want 0", p.Pinned())
+	}
+	// Unpinned, page 2 is a victim candidate again.
+	for id := uint32(30); id < 50; id++ {
+		p.Touch(id)
+	}
+	if p.IsResident(2) {
+		t.Fatal("page 2 survived 20 evictions with no pin")
+	}
+}
+
+func TestPinsNest(t *testing.T) {
+	p := New(2)
+	p.Pin(1)
+	p.Pin(1)
+	p.Unpin(1)
+	for id := uint32(10); id < 20; id++ {
+		p.Touch(id)
+	}
+	if !p.IsResident(1) {
+		t.Fatal("page 1 evicted while one of two pins was still held")
+	}
+	p.Unpin(1)
+	p.Unpin(1) // extra unpin of a zero-pin frame is a no-op
+	if p.Pinned() != 0 {
+		t.Fatalf("Pinned() = %d, want 0", p.Pinned())
+	}
+	p.Unpin(99) // unpin of a non-resident page is a no-op
+}
+
+func TestAllPinnedGrowsRing(t *testing.T) {
+	p := New(2)
+	p.Pin(1)
+	p.Pin(2)
+	p.Touch(3) // no victim available: the shard must grow, not fail
+	if !p.IsResident(1) || !p.IsResident(2) || !p.IsResident(3) {
+		t.Fatalf("residency after forced growth: 1=%v 2=%v 3=%v",
+			p.IsResident(1), p.IsResident(2), p.IsResident(3))
+	}
+	st := p.Stats()
+	if st.Grows == 0 {
+		t.Fatalf("Stats().Grows = 0 after growing past capacity: %+v", st)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("Stats().Evictions = %d, want 0 (nothing was evictable)", st.Evictions)
+	}
+	p.Unpin(1)
+	p.Unpin(2)
+}
+
+func TestErrStickyAcrossShards(t *testing.T) {
+	p := NewSharded(8, 4) // 2 frames per shard
+	if p.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", p.Shards())
+	}
+	boom := errors.New("backing store unplugged")
+	p.SetWriteBack(func(id uint32, dirty, evicted bool) error {
+		if evicted && dirty {
+			return boom
+		}
+		return nil
+	})
+	// Drive dirty evictions through a NON-zero shard: the sticky error must
+	// surface pool-wide no matter which CLOCK region failed.
+	shard := 2
+	var ids []uint32
+	for id := uint32(1); len(ids) < 4; id++ {
+		if p.ShardOf(id) == shard {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		p.Dirty(id) // 4 dirty pages into a 2-frame shard: must evict
+	}
+	if err := p.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want the shard-%d write-back failure", err, shard)
+	}
+	st := p.Stats()
+	if st.WriteBackErrors == 0 {
+		t.Fatalf("WriteBackErrors = 0: %+v", st)
+	}
+	// The first error is retained even after later successes elsewhere.
+	p.Touch(idInShard(t, p, 0))
+	if err := p.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() lost the sticky error: %v", err)
+	}
+	p.ClearErr()
+	if p.Err() != nil {
+		t.Fatalf("Err() after ClearErr = %v", p.Err())
+	}
+}
+
+func TestShardStatsPerShard(t *testing.T) {
+	p := NewSharded(16, 4)
+	id := idInShard(t, p, 3)
+	p.Dirty(id)
+	p.Pin(id)
+	ss := p.ShardStats()
+	if len(ss) != 4 {
+		t.Fatalf("len(ShardStats()) = %d, want 4", len(ss))
+	}
+	if got := p.ShardStat(3); got != ss[3] {
+		t.Fatalf("ShardStat(3) = %+v, ShardStats()[3] = %+v", got, ss[3])
+	}
+	if ss[3].Residents != 1 || ss[3].Dirty != 1 || ss[3].Pinned != 1 || ss[3].Misses != 1 {
+		t.Fatalf("shard 3 stats = %+v", ss[3])
+	}
+	for i := 0; i < 3; i++ {
+		if ss[i].Residents != 0 {
+			t.Fatalf("shard %d unexpectedly resident: %+v", i, ss[i])
+		}
+	}
+	p.Unpin(id)
+}
+
+// TestConcurrentAccess hammers a sharded pool from many goroutines (run
+// with -race): every access pattern the engines use, with balanced
+// Pin/Unpin pairs, must leave zero pins and a consistent frame table.
+func TestConcurrentAccess(t *testing.T) {
+	p := NewSharded(64, 8)
+	p.Seed(1, nil)
+	const goroutines = 8
+	const opsPer = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPer; i++ {
+				id := uint32(1 + rng.Intn(256))
+				switch rng.Intn(4) {
+				case 0:
+					p.Touch(id)
+				case 1:
+					p.Dirty(id)
+				case 2:
+					p.Pin(id)
+					p.Touch(id)
+					p.Unpin(id)
+				case 3:
+					_ = p.IsResident(id)
+					_ = p.Stats()
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := p.Pinned(); got != 0 {
+		t.Fatalf("Pinned() = %d after balanced pin/unpin", got)
+	}
+	st := p.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatalf("no accesses recorded: %+v", st)
+	}
+	if p.Resident() > 64+int(st.Grows) {
+		t.Fatalf("Resident() = %d exceeds capacity %d + grows %d", p.Resident(), 64, st.Grows)
+	}
+	// Every frame table entry points at a live frame holding its id.
+	for i, s := range p.shards {
+		s.mu.Lock()
+		for id, idx := range s.frames {
+			if f := s.ring[idx]; !f.live || f.id != id {
+				t.Errorf("shard %d: frames[%d] -> ring[%d] = %+v", i, id, idx, f)
+			}
+		}
+		s.mu.Unlock()
+	}
+}

@@ -8,12 +8,13 @@ import (
 )
 
 // This engine holds its decoded B+-tree nodes as btree.Node values — the
-// unified core's node form — in DB.nodes while the buffer pool considers
-// them resident (plus a grace window until the end of the current
-// operation); their durable form is the btree.NodePage image. The tree
+// unified core's node form — in the sharded node cache while the buffer
+// pool considers them resident (dirty-evicted nodes linger until a writer
+// sweeps them); their durable form is the btree.NodePage image. The tree
 // ALGORITHM lives entirely in internal/btree's Core; this file supplies the
 // store side: the fallible NodeStore that faults nodes through the pool and
-// the log-structured store.
+// the log-structured store, implementing the Fetch/Release pin protocol so
+// concurrent readers can fault and evict against each other safely.
 
 // budget is the per-node byte budget: the page minus the image header.
 func (db *DB) budget() int { return btree.PageLayout.Budget(db.pageSize) }
@@ -29,12 +30,16 @@ func encodeNode(pageSize int, n *btree.Node) ([]byte, error) {
 
 // nodeStore adapts the DB's node cache to btree.NodeStore: the unified tree
 // core runs its algorithm against this accessor. Every method runs with
-// db.mu held (the DB serializes tree operations).
+// db.mu held — exclusively for mutations, shared for reads; the pin taken
+// by Fetch (and released by Release) is what keeps a node's frame from
+// being evicted by a CONCURRENT reader's fault in between.
 type nodeStore struct{ db *DB }
 
 func (s nodeStore) Alloc() (uint32, error) { return s.db.allocNode().ID, nil }
 
 func (s nodeStore) Fetch(id uint32) (*btree.Node, error) { return s.db.node(id) }
+
+func (s nodeStore) Release(id uint32) { s.db.pool.Unpin(id) }
 
 // MarkDirty re-admits a page whose frame was reclaimed mid-operation, so
 // the mutation is never lost.
@@ -45,58 +50,93 @@ func (s nodeStore) Free(id uint32) error {
 	return nil
 }
 
-// node returns the decoded node for a page id, faulting it in from the
-// pending stage or the store on a cache miss. Caller holds db.mu.
+// node returns the decoded node for a page id PINNED, faulting it in from
+// the pending stage or the store on a cache miss. Concurrency-safe among
+// readers: the cache lookup takes only the node shard's read lock, the pin
+// exempts the frame from eviction until the core Releases it, and if two
+// readers race to fault the same page the first insert wins (the images are
+// identical — a dropped node always has a current durable image).
 func (db *DB) node(id uint32) (*btree.Node, error) {
-	if n, ok := db.nodes[id]; ok {
-		db.pool.Touch(id)
+	sh := db.nshard(id)
+	sh.mu.RLock()
+	n := sh.nodes[id]
+	sh.mu.RUnlock()
+	if n != nil {
+		db.pool.Pin(id)
 		return n, nil
 	}
 	var img []byte
+	pooled := false
 	if p, ok := db.pending[id]; ok {
 		// The freshest version of an evicted dirty page lives in the
-		// pending stage until the next commit, not in the store.
+		// pending stage until the next commit, not in the store. (Readers
+		// never mutate pending; writers hold db.mu exclusively to do so.)
 		img = p
 	} else {
-		img = make([]byte, db.pageSize)
+		img = db.imgPool.Get().([]byte)
+		pooled = true
 		t0 := time.Now()
 		if err := db.st.ReadPage(id, img); err != nil {
+			db.imgPool.Put(img)
 			return nil, fmt.Errorf("pagedb: faulting page %d: %w", id, err)
 		}
 		db.hFault.Record(uint64(time.Since(t0)))
-		db.faults++
+		db.faults.Add(1)
 	}
 	n, err := btree.DecodeNodeImage(id, img, btree.PageLayout)
+	if pooled {
+		// DecodeNodeImage copies everything it keeps out of the image.
+		db.imgPool.Put(img)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("pagedb: decoding page %d: %w", id, err)
 	}
-	db.nodes[id] = n
-	db.pool.Touch(id)
+	sh.mu.Lock()
+	if cur, ok := sh.nodes[id]; ok {
+		n = cur // another reader faulted it first; adopt the canonical copy
+	} else {
+		sh.nodes[id] = n
+	}
+	sh.mu.Unlock()
+	db.pool.Pin(id)
 	return n, nil
 }
 
 // allocNode creates a fresh blank node on a newly allocated page id
-// (resident and dirty); the core stamps its kind. Caller holds db.mu.
+// (resident and dirty, but NOT pinned — the core Fetches a fresh id right
+// after Alloc, and that Fetch takes the pin); the core stamps its kind.
+// Caller holds db.mu exclusively.
 func (db *DB) allocNode() *btree.Node {
 	id := db.pool.Allocate()
 	// A reused id may carry residue from its previous life: a staged image,
-	// a pending free, or a poison mark. All are superseded by reallocation.
+	// a pending free, a poison mark, or a queued eviction. All are
+	// superseded by reallocation.
 	delete(db.freed, id)
 	delete(db.pending, id)
 	delete(db.encodeFailed, id)
+	db.evmu.Lock()
+	delete(db.evq, id)
+	db.evmu.Unlock()
 	n := &btree.Node{ID: id}
-	db.nodes[id] = n
+	sh := db.nshard(id)
+	sh.mu.Lock()
+	sh.nodes[id] = n
+	sh.mu.Unlock()
 	db.metaDirty = true
 	return n
 }
 
 // freeNode releases a page: its decoded node and any staged image are
-// dropped, and the next commit writes a store tombstone if the page had
-// ever been committed. Caller holds db.mu.
+// dropped (pins included — Free is an ownership statement), and the next
+// commit writes a store tombstone if the page had ever been committed.
+// Caller holds db.mu exclusively.
 func (db *DB) freeNode(id uint32) {
-	delete(db.nodes, id)
+	db.dropNode(id)
 	delete(db.pending, id)
 	delete(db.encodeFailed, id) // a freed page no longer needs persisting
+	db.evmu.Lock()
+	delete(db.evq, id)
+	db.evmu.Unlock()
 	db.pool.FreePage(id)
 	db.freed[id] = true
 	db.metaDirty = true

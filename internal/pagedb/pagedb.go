@@ -37,10 +37,20 @@
 // registry (root, height, count per tree) and the page allocator state
 // (next id, free list), so Open recovers every tree from the store alone.
 //
-// DB methods are safe for concurrent use; one mutex serializes operations
-// (the structural work is pointer-chasing in memory, the heavy lifting —
-// cleaning, group fsync — happens in the store's own concurrency domain).
-// Scan callbacks must not call back into the DB.
+// # Concurrency
+//
+// DB methods are safe for concurrent use, and the read path takes no
+// exclusive lock: Get and Scan hold a shared read guard (an RWMutex read
+// side), so any number of readers run concurrently — faulting nodes in,
+// evicting unpinned frames, updating the sharded buffer pool — and block
+// only while a mutation or the commit install window holds the write side.
+// The decoded-node cache is sharded alongside the buffer pool, every node
+// access is pinned (btree's Fetch/Release protocol) so eviction can never
+// reclaim a node mid-read, and nodes are immutable while the read guard is
+// held, so readers may hold node pointers without torn reads. Writers
+// (Put, Delete, Commit, tree DDL, Close) serialize on the write side
+// exactly as the old single-mutex engine did. Scan callbacks must not call
+// back into the DB.
 package pagedb
 
 import (
@@ -49,6 +59,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/btree"
@@ -93,27 +104,56 @@ type Options struct {
 	Store store.Options
 	// CachePages bounds the decoded-node cache (default 1024, minimum 8).
 	CachePages int
+	// CacheShards sets how many independent CLOCK regions the buffer pool
+	// splits into (rounded up to a power of two; concurrent readers scale
+	// with it). 0 picks bufferpool.DefaultShards(), sized to GOMAXPROCS.
+	CacheShards int
 }
 
 // DB is an open pagedb database.
+//
+// Lock order (outermost first): db.mu, then a pool shard mutex (inside any
+// pool call), then db.evmu or a node-cache shard mutex (the write-back
+// callback runs under the pool shard mutex and takes both). Neither evmu
+// nor a node-cache shard mutex is ever held across a pool call.
 type DB struct {
-	mu       sync.Mutex
+	// mu is the operation guard. Writers (Put, Delete, Commit, tree DDL,
+	// Close) take the write side and see the old single-mutex engine;
+	// readers (Get, Scan, Len, ...) take the read side and run concurrently
+	// with each other, excluded only from mutations and the commit install.
+	mu       sync.RWMutex
 	st       *store.Store
 	pool     *bufferpool.Pool
 	pageSize int
 
-	nodes   map[uint32]*btree.Node // decoded nodes, superset of pool residency during an op
-	pending map[uint32][]byte      // dirty images evicted since the last commit
-	freed   map[uint32]bool        // pages freed since the last commit
+	// nshards is the decoded-node cache, sharded by the pool's own page-id
+	// hash so concurrent readers faulting different pages rarely contend.
+	// Every resident page has its node here; a dirty-evicted page KEEPS its
+	// node (the freshest state) until a writer sweeps it into pending.
+	nshards []nodeShard
+
+	pending map[uint32][]byte // dirty images evicted since the last commit (writers mutate; readers only read)
+	freed   map[uint32]bool   // pages freed since the last commit
 	// encodeFailed poisons Commit while any page's state cannot be
 	// serialized (an internal invariant failure): a commit that silently
 	// omitted such a page would persist parents referencing a child whose
-	// image never made it to the store.
+	// image never made it to the store. Writer-side only.
 	encodeFailed map[uint32]error
-	evq          []evictRec        // evictions queued during the current operation
-	stage        map[uint32][]byte // commit-in-progress image set (FlushDirty target)
-	trees        map[string]*Tree  // named-tree registry
-	order        []string          // registry in creation order (meta determinism)
+
+	// evq holds pages dirty-evicted since the last sweep. Readers append to
+	// it (their faults can evict a writer's dirty page), so it has its own
+	// mutex; only writers drain it.
+	evmu sync.Mutex
+	evq  map[uint32]struct{}
+
+	stage map[uint32][]byte // commit-in-progress image set (FlushDirty target)
+	trees map[string]*Tree  // named-tree registry
+	order []string          // registry in creation order (meta determinism)
+
+	// imgPool recycles page-image buffers for the fault path (DecodeNodeImage
+	// copies what it keeps, so a buffer is reusable the moment decode
+	// returns).
+	imgPool sync.Pool
 
 	metaDirty bool
 	metaOvf   int // free-list overflow pages the last durable meta used
@@ -121,7 +161,7 @@ type DB struct {
 
 	commits      uint64
 	commitPages  uint64
-	faults       uint64
+	faults       atomic.Uint64 // incremented by concurrent readers
 	stagedEvicts uint64
 
 	// obs handles, resolved once at Open; the registry is shared with the
@@ -132,9 +172,31 @@ type DB struct {
 	hBatch  *obs.Histogram // pagedb.commit.pages: batch size per commit
 }
 
-type evictRec struct {
-	id    uint32
-	dirty bool
+// nodeShard is one shard of the decoded-node cache, aligned with the
+// buffer pool's shards (same page-id hash picks both).
+type nodeShard struct {
+	mu    sync.RWMutex
+	nodes map[uint32]*btree.Node
+}
+
+// nshard returns the node-cache shard for a page id.
+func (db *DB) nshard(id uint32) *nodeShard { return &db.nshards[db.pool.ShardOf(id)] }
+
+// cachedNode returns the decoded node for id, or nil.
+func (db *DB) cachedNode(id uint32) *btree.Node {
+	sh := db.nshard(id)
+	sh.mu.RLock()
+	n := sh.nodes[id]
+	sh.mu.RUnlock()
+	return n
+}
+
+// dropNode removes id's decoded node from the cache (if present).
+func (db *DB) dropNode(id uint32) {
+	sh := db.nshard(id)
+	sh.mu.Lock()
+	delete(sh.nodes, id)
+	sh.mu.Unlock()
 }
 
 // Open creates or recovers a database. A fresh store is initialized with an
@@ -159,38 +221,52 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards := opts.CacheShards
+	if shards == 0 {
+		shards = bufferpool.DefaultShards()
+	}
 	db := &DB{
 		st:           st,
-		pool:         bufferpool.New(opts.CachePages),
+		pool:         bufferpool.NewSharded(opts.CachePages, shards),
 		pageSize:     pageSize,
-		nodes:        make(map[uint32]*btree.Node),
 		pending:      make(map[uint32][]byte),
 		freed:        make(map[uint32]bool),
 		encodeFailed: make(map[uint32]error),
+		evq:          make(map[uint32]struct{}),
 		trees:        make(map[string]*Tree),
+	}
+	db.imgPool.New = func() any { return make([]byte, pageSize) }
+	db.nshards = make([]nodeShard, db.pool.Shards())
+	for i := range db.nshards {
+		db.nshards[i].nodes = make(map[uint32]*btree.Node)
 	}
 	db.pool.SetWriteBack(db.writeBack)
 	db.obsReg = opts.Store.Obs
 	db.hFault = db.obsReg.Histogram("pagedb.fault.ns")
 	db.hCommit = db.obsReg.Histogram("pagedb.commit.ns")
 	db.hBatch = db.obsReg.Histogram("pagedb.commit.pages")
-	// The pool is serialized by db.mu, so its counters are mirrored as
-	// snapshot-time gauges instead of per-op atomics.
+	// The pool synchronizes itself, so its counters are mirrored as
+	// snapshot-time gauges read straight off the shards — no db.mu needed.
 	db.obsReg.GaugeFunc("bufferpool.hits", func() int64 {
-		db.mu.Lock()
-		defer db.mu.Unlock()
 		return int64(db.pool.Stats().Hits)
 	})
 	db.obsReg.GaugeFunc("bufferpool.misses", func() int64 {
-		db.mu.Lock()
-		defer db.mu.Unlock()
 		return int64(db.pool.Stats().Misses)
 	})
 	db.obsReg.GaugeFunc("bufferpool.evictions", func() int64 {
-		db.mu.Lock()
-		defer db.mu.Unlock()
 		return int64(db.pool.Stats().Evictions)
 	})
+	// Per-shard gauges: residency, dirtiness, pins and traffic per CLOCK
+	// region, so a snapshot shows whether the page-id hash spreads load.
+	for i := 0; i < db.pool.Shards(); i++ {
+		i := i
+		prefix := fmt.Sprintf("bufferpool.shard%d.", i)
+		db.obsReg.GaugeFunc(prefix+"residents", func() int64 { return int64(db.pool.ShardStat(i).Residents) })
+		db.obsReg.GaugeFunc(prefix+"dirty", func() int64 { return int64(db.pool.ShardStat(i).Dirty) })
+		db.obsReg.GaugeFunc(prefix+"pinned", func() int64 { return int64(db.pool.ShardStat(i).Pinned) })
+		db.obsReg.GaugeFunc(prefix+"hits", func() int64 { return int64(db.pool.ShardStat(i).Hits) })
+		db.obsReg.GaugeFunc(prefix+"misses", func() int64 { return int64(db.pool.ShardStat(i).Misses) })
+	}
 
 	buf := make([]byte, pageSize)
 	switch err := st.ReadPage(metaPageID, buf); {
@@ -213,20 +289,37 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
-// writeBack is the buffer pool's callback. Evictions are queued and settled
-// at the end of the current operation (sweepEvictions) so that nodes held
-// by an in-flight tree operation are never dropped mid-use; flushes (only
-// issued by Commit) encode straight into the commit stage.
+// writeBack is the buffer pool's callback, running under the evicting
+// shard's mutex (possibly in a reader's fault path). A CLEAN eviction drops
+// the decoded node at once — the store (or pending stage) already holds the
+// current image, and eviction implies no pin, so no in-flight operation
+// holds the pointer. A DIRTY eviction only queues the page id: the node —
+// the freshest state — stays cached until a writer settles it
+// (sweepEvictions), because encoding and staging belong to the exclusive
+// side. Flushes (only issued by Commit, exclusive) encode straight into the
+// commit stage.
 func (db *DB) writeBack(id uint32, dirty, evicted bool) error {
 	if evicted {
-		db.evq = append(db.evq, evictRec{id: id, dirty: dirty})
+		db.evmu.Lock()
+		if dirty {
+			db.evq[id] = struct{}{}
+			db.evmu.Unlock()
+			return nil
+		}
+		_, queued := db.evq[id]
+		db.evmu.Unlock()
+		if !queued {
+			// No un-swept dirty eviction outstanding: the cached node holds
+			// nothing the durable image lacks.
+			db.dropNode(id)
+		}
 		return nil
 	}
 	if db.stage == nil {
 		return fmt.Errorf("pagedb: flush of page %d outside a commit", id)
 	}
-	n, ok := db.nodes[id]
-	if !ok {
+	n := db.cachedNode(id)
+	if n == nil {
 		return fmt.Errorf("pagedb: flush of page %d with no decoded node", id)
 	}
 	img, err := encodeNode(db.pageSize, n)
@@ -239,57 +332,55 @@ func (db *DB) writeBack(id uint32, dirty, evicted bool) error {
 	return nil
 }
 
-// sweepEvictions settles the evictions queued during the operation that
-// just finished: a page re-admitted meanwhile keeps (and re-arms) its dirty
-// bit; a page that stayed out has its node encoded into the pending stage
-// (if dirty) and its decoded copy dropped. A node whose encode fails is
-// re-admitted DIRTY instead of dropped — nothing is lost, the encode is
-// retried at the next eviction or commit. Re-admissions can evict further
-// frames, so the queue is drained in passes (bounded: only encode failures
-// re-admit). Runs with db.mu held, at a point where no tree operation is
-// holding node pointers.
+// sweepEvictions settles the dirty evictions queued since the last sweep: a
+// page re-admitted meanwhile keeps (and re-arms) its dirty bit; a page that
+// stayed out has its node encoded into the pending stage and its decoded
+// copy dropped. A node whose encode fails is re-admitted DIRTY instead of
+// dropped — nothing is lost, the encode is retried at the next eviction or
+// commit. Re-admissions can evict further frames, so the queue is drained
+// in passes (bounded: only encode failures re-admit). Runs with db.mu held
+// EXCLUSIVELY, at a point where no tree operation is holding node pointers.
 func (db *DB) sweepEvictions() error {
 	var firstErr error
-	for pass := 0; len(db.evq) > 0; pass++ {
-		merged := make(map[uint32]bool, len(db.evq))
-		for _, e := range db.evq {
-			merged[e.id] = merged[e.id] || e.dirty
+	for pass := 0; ; pass++ {
+		db.evmu.Lock()
+		if len(db.evq) == 0 {
+			db.evmu.Unlock()
+			break
 		}
-		db.evq = db.evq[:0]
-		for id, dirty := range merged {
+		batch := db.evq
+		db.evq = make(map[uint32]struct{})
+		db.evmu.Unlock()
+		for id := range batch {
 			if db.pool.IsResident(id) {
-				if dirty {
-					db.pool.Dirty(id) // preserve dirtiness across the round trip
+				db.pool.Dirty(id) // preserve dirtiness across the round trip
+				continue
+			}
+			n := db.cachedNode(id)
+			if n == nil {
+				continue // freed since the eviction
+			}
+			img, err := encodeNode(db.pageSize, n)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				// Record the failure so no later Commit can succeed
+				// while this page's state is unpersistable, then keep
+				// the page resident and dirty for a retry. The pass
+				// guard only breaks re-admission ping-pong between
+				// multiple failing pages; the poison set keeps even
+				// that case from turning into a silent commit.
+				db.encodeFailed[id] = err
+				if pass < 3 {
+					db.pool.Dirty(id)
 				}
 				continue
 			}
-			n, ok := db.nodes[id]
-			if !ok {
-				continue // freed during the operation
-			}
-			if dirty {
-				img, err := encodeNode(db.pageSize, n)
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					// Record the failure so no later Commit can succeed
-					// while this page's state is unpersistable, then keep
-					// the page resident and dirty for a retry. The pass
-					// guard only breaks re-admission ping-pong between
-					// multiple failing pages; the poison set keeps even
-					// that case from turning into a silent commit.
-					db.encodeFailed[id] = err
-					if pass < 3 {
-						db.pool.Dirty(id)
-					}
-					continue
-				}
-				delete(db.encodeFailed, id)
-				db.pending[id] = img
-				db.stagedEvicts++
-			}
-			delete(db.nodes, id)
+			delete(db.encodeFailed, id)
+			db.pending[id] = img
+			db.stagedEvicts++
+			db.dropNode(id)
 		}
 	}
 	return firstErr
@@ -491,8 +582,8 @@ type Stats struct {
 func (db *DB) Obs() *obs.Registry { return db.obsReg }
 
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return Stats{
 		Pool:            db.pool.Stats(),
 		Store:           db.st.Stats(),
@@ -500,7 +591,7 @@ func (db *DB) Stats() Stats {
 		Commits:         db.commits,
 		CommittedPages:  db.commitPages,
 		PendingPages:    len(db.pending),
-		Faults:          db.faults,
+		Faults:          db.faults.Load(),
 		StagedEvictions: db.stagedEvicts,
 	}
 }

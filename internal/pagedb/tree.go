@@ -8,7 +8,9 @@ import (
 
 // Tree is a named B+-tree of a DB: uint64 keys, opaque []byte values, one
 // store page per node. Handles stay valid until the tree is dropped or the
-// DB is closed, and are safe for concurrent use (the DB serializes).
+// DB is closed, and are safe for concurrent use: reads (Get, GetInto, Scan,
+// Len, Height, CheckInvariants) share the DB's read guard and run
+// concurrently with each other; mutations serialize on the write side.
 //
 // A Tree holds NO tree algorithm of its own: it is a thin adapter — lock,
 // guard, value copying, metadata bookkeeping — around the unified
@@ -49,8 +51,8 @@ func (db *DB) Tree(name string) (*Tree, error) {
 
 // TreeNames lists the named trees in creation order.
 func (db *DB) TreeNames() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return append([]string(nil), db.order...)
 }
 
@@ -103,30 +105,45 @@ func (t *Tree) Name() string { return t.name }
 
 // Len returns the number of keys stored.
 func (t *Tree) Len() int {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	return t.core.Len()
 }
 
 // Height returns the tree height (1 for a lone leaf).
 func (t *Tree) Height() int {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	return t.core.Height()
 }
 
-// Get returns a copy of the value stored under key.
+// Get returns a copy of the value stored under key. Reads take only the
+// shared guard, so any number of Gets run concurrently; evictions their
+// faults cause are queued for the next writer to settle.
 func (t *Tree) Get(key uint64) ([]byte, bool, error) {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
+	v, ok, err := t.GetInto(key, nil)
+	return v, ok, err
+}
+
+// GetInto is Get with caller-supplied value storage: the value is appended
+// to dst[:0] and returned, so a reader looping over keys can reuse one
+// buffer and allocate nothing once it is warm. ok=false leaves dst's
+// contents untouched and returns dst[:0].
+func (t *Tree) GetInto(key uint64, dst []byte) ([]byte, bool, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	if err := t.guard(); err != nil {
 		return nil, false, err
 	}
 	v, ok, err := t.core.Get(key)
+	// Copy while the read guard is held: v aliases the node, whose frame is
+	// already unpinned — the guard is what keeps writers out until we're
+	// done with it.
+	dst = dst[:0]
 	if ok {
-		v = append([]byte(nil), v...)
+		dst = append(dst, v...)
 	}
-	return v, ok, t.db.finishOp(err)
+	return dst, ok, err
 }
 
 // Put stores value under key, replacing any existing value. The value is
@@ -170,14 +187,15 @@ func (t *Tree) Delete(key uint64) (bool, error) {
 
 // Scan visits keys in [from, to] in order, stopping early if fn returns
 // false. The value slice passed to fn is the tree's internal copy: fn must
-// not modify or retain it, and must not call back into the DB.
+// not modify or retain it, and must not call back into the DB. Scans share
+// the read guard and run concurrently with Gets and other Scans.
 func (t *Tree) Scan(from, to uint64, fn func(key uint64, value []byte) bool) error {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	if err := t.guard(); err != nil {
 		return err
 	}
-	return t.db.finishOp(t.core.Scan(from, to, fn))
+	return t.core.Scan(from, to, fn)
 }
 
 // CheckInvariants validates the tree's structural invariants — the same
@@ -185,10 +203,10 @@ func (t *Tree) Scan(from, to uint64, fn func(key uint64, value []byte) bool) err
 // bounded keys, uniform leaf depth, byte accounting within the page
 // budget, leaf chain and count agreement.
 func (t *Tree) CheckInvariants() error {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	if err := t.guard(); err != nil {
 		return err
 	}
-	return t.db.finishOp(t.core.Check())
+	return t.core.Check()
 }
