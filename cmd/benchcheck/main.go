@@ -9,9 +9,12 @@
 // run carries a registry snapshot, and that every histogram is internally
 // consistent: quantiles monotone (p50 <= p95 <= p99 <= p999), mean and
 // quantiles zero when empty, and the bucket counts summing to the total.
-// Reports for the tpcc experiment additionally must carry the cleaner
+// Reports for the tpcc experiments additionally must carry the cleaner
 // phase histograms (cleaner.select/relocate/release.ns), per-transaction
-// latency, and the store write/commit latency series.
+// latency, and the store write/commit latency series; tpcc-concurrent
+// reports (lsbench -exp tpcc -workers N) must also show a live WAL commit
+// path — non-empty wal.append/commit latency histograms and group-commit
+// counters with at most one fsync round per committed transaction.
 //
 // Usage:
 //
@@ -83,7 +86,7 @@ func checkFile(path string) error {
 			}
 			hists++
 		}
-		if rep.Experiment == "tpcc" {
+		if rep.Experiment == "tpcc" || rep.Experiment == "tpcc-concurrent" {
 			if err := requireSeries(run.Metrics,
 				"cleaner.select.ns", "cleaner.relocate.ns", "cleaner.release.ns",
 				"store.write.ns", "store.commit.ns",
@@ -93,6 +96,11 @@ func checkFile(path string) error {
 			if run.Metrics.Histograms["tpcc.tx.NewOrder.ns"].Count == 0 {
 				return fmt.Errorf("run %d (%s/%s): tpcc.tx.NewOrder.ns recorded nothing",
 					i, run.Engine, run.Algorithm)
+			}
+		}
+		if rep.Experiment == "tpcc-concurrent" {
+			if err := checkWAL(run.Metrics); err != nil {
+				return fmt.Errorf("run %d (%s/%s): %w", i, run.Engine, run.Algorithm, err)
 			}
 		}
 	}
@@ -125,6 +133,29 @@ func checkHistogram(h obs.HistogramSnapshot) error {
 	}
 	if sum != h.Count {
 		return fmt.Errorf("bucket counts sum to %d, total says %d", sum, h.Count)
+	}
+	return nil
+}
+
+// checkWAL validates the write-ahead-log series a concurrent
+// (per-transaction durability) run must produce: the commit-path latency
+// histograms recorded samples, and the group-commit counters are coherent
+// — every committed transaction waited on at most one fsync round.
+func checkWAL(s *obs.Snapshot) error {
+	if err := requireSeries(s, "wal.append.ns", "wal.fsync.ns", "wal.commit.ns"); err != nil {
+		return err
+	}
+	for _, n := range []string{"wal.append.ns", "wal.commit.ns"} {
+		if s.Histograms[n].Count == 0 {
+			return fmt.Errorf("histogram %q recorded nothing in a concurrent run", n)
+		}
+	}
+	commits, rounds := s.Counters["wal.commit.commits"], s.Counters["wal.commit.rounds"]
+	if commits == 0 {
+		return fmt.Errorf("wal.commit.commits is zero in a concurrent run")
+	}
+	if rounds == 0 || rounds > commits {
+		return fmt.Errorf("incoherent group commit: %d fsync rounds for %d commits", rounds, commits)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	lsbench -exp routing -scale medium      # routed vs single-stream placement on the live engines
 //	lsbench -exp batching -scale medium     # per-op vs batched writes with group commit
 //	lsbench -exp tpcc -scale medium         # TPC-C end-to-end on the durable B+-tree engine
+//	lsbench -exp tpcc -workers 4            # concurrent TPC-C, one WAL group-commit per transaction
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	scaleName := flag.String("scale", "medium", "geometry preset: small, medium, paper")
 	format := flag.String("format", "md", "output format: md, csv")
 	fill := flag.Float64("fill", 0, "tpcc only: target sealed-region fill factor (0 = default 0.6; routed placement is predicted to pay at 0.8+)")
+	workers := flag.Int("workers", 0, "tpcc only: run N concurrent workers with one WAL commit per transaction (0 = single-threaded batch mode)")
 	metricsOut := flag.String("metrics-out", "", "write a metrics report (run metadata + per-run registry snapshots) as JSON to this path, e.g. BENCH_tpcc.json; only the live-engine experiments (cleaner, routing, batching, tpcc) record runs")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
 	flag.Parse()
@@ -47,8 +49,20 @@ func main() {
 		progress = os.Stderr
 	}
 
+	if *workers < 0 {
+		log.Fatalf("-workers %d is negative", *workers)
+	}
+	if *workers > 0 && *exp != "tpcc" {
+		log.Fatalf("-workers only applies to -exp tpcc")
+	}
+	// The concurrent variant is its own experiment in the trajectory: its
+	// reports carry WAL group-commit series the batch run never exercises.
+	expName := *exp
+	if *exp == "tpcc" && *workers > 0 {
+		expName = "tpcc-concurrent"
+	}
 	if *metricsOut != "" {
-		experiments.BeginReport(*exp, scale)
+		experiments.BeginReport(expName, scale)
 	}
 
 	start := time.Now()
@@ -88,10 +102,15 @@ func main() {
 		// Beyond the paper: TPC-C replayed end-to-end against the durable
 		// B+-tree engine (pagedb) on the page store — the paper's B-tree
 		// page-store setting executed live instead of via recorded traces.
-		// -fill sweeps the sealed-region fill the geometry targets.
-		if *fill != 0 {
+		// -fill sweeps the sealed-region fill the geometry targets; -workers
+		// switches to N concurrent workers committing per-transaction
+		// through the WAL (group fsync) instead of batch-only durability.
+		switch {
+		case *workers > 0:
+			tables = append(tables, experiments.TPCCConcurrent(scale, *fill, *workers, progress))
+		case *fill != 0:
 			tables = append(tables, experiments.TPCCDurableAt(scale, *fill, progress))
-		} else {
+		default:
 			tables = append(tables, experiments.TPCCDurable(scale, progress))
 		}
 	default:

@@ -57,6 +57,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,8 +65,10 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/bufferpool"
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // ErrClosed is returned by operations on a closed DB.
@@ -80,9 +83,14 @@ var ErrTooLarge = errors.New("pagedb: value too large for page size")
 // ever be allocated there.
 const metaPageID = 0
 
-// metaMagic identifies a pagedb metadata page (format 2: the free list
-// spills across overflow pages instead of truncating).
-const metaMagic = "PGDBMET2"
+// metaMagic identifies a pagedb metadata page (format 3: format 2 — the
+// free list spills across overflow pages — plus the WAL checkpoint seq).
+const metaMagic = "PGDBMET3"
+
+// metaMagicV2 is the previous format, accepted on open: identical except
+// it predates the WAL, so its checkpoint seq is implicitly 0 (a v2 store
+// has no log to replay).
+const metaMagicV2 = "PGDBMET2"
 
 // ovfMagic identifies a free-list overflow page chained off the metadata
 // page.
@@ -159,8 +167,22 @@ type DB struct {
 	metaOvf   int // free-list overflow pages the last durable meta used
 	closed    bool
 
+	// wal is the per-transaction redo log (internal/wal). Txn.Commit
+	// appends the transaction's ops and applies them to the trees under
+	// db.mu (so WAL seq order IS apply order), then waits for the log's
+	// group fsync OUTSIDE db.mu. commitLocked doubles as the checkpoint:
+	// once a commit batch lands, every logged transaction it covers is
+	// page-durable, the covered seq is recorded in the metadata page and
+	// the log is truncated past it. Open replays the tail (seqs beyond the
+	// checkpoint) before serving.
+	wal    *wal.Log
+	walSeq uint64        // commit seqs ≤ this are covered by the checkpoint
+	txnIDs atomic.Uint64 // last issued transaction id
+	epoch  atomic.Uint64 // bumped per applied transaction and per checkpoint
+
 	commits      uint64
 	commitPages  uint64
+	txns         uint64        // transactions applied (committed)
 	faults       atomic.Uint64 // incremented by concurrent readers
 	stagedEvicts uint64
 
@@ -286,7 +308,61 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 	}
+
+	// The write-ahead commit log lives beside the store's segments. It only
+	// fsyncs when the store itself runs at DurCommit — below that, logging
+	// still buys replay of whatever the OS kept, but no sync guarantee, the
+	// same deal the store offers. An in-memory store gets a volatile log
+	// (seq assignment only: there is no crash to replay from).
+	wdir := ""
+	if opts.Store.Dir != "" {
+		wdir = filepath.Join(opts.Store.Dir, "wal")
+	}
+	wl, err := wal.Open(wal.Options{
+		Dir:    wdir,
+		NoSync: opts.Store.Durability != core.DurCommit,
+		Obs:    opts.Store.Obs,
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	db.wal = wl
+	if err := db.replayWAL(); err != nil {
+		wl.Close()
+		st.Close()
+		return nil, err
+	}
+	// New transaction ids start past every id retained in the log, so a
+	// restarted writer can never collide with tail records.
+	db.txnIDs.Store(wl.MaxTxnID())
 	return db, nil
+}
+
+// replayWAL re-applies every committed transaction past the checkpoint, in
+// commit-seq order. Runs during Open, before the DB is shared, so it uses
+// the locked helpers directly. Replay is idempotent — it redoes final
+// values onto whatever state the checkpoint captured — and does NOT force
+// a checkpoint of its own: the replayed state simply becomes durable at
+// the next Commit, and until then every reopen replays the same tail.
+func (db *DB) replayWAL() error {
+	replayed := false
+	err := db.wal.Replay(db.walSeq, func(txn *wal.Txn) error {
+		replayed = true
+		if err := db.applyOps(txn.Ops); err != nil {
+			return fmt.Errorf("pagedb: replaying txn %d (seq %d): %w", txn.ID, txn.Seq, err)
+		}
+		db.txns++
+		db.epoch.Add(1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if replayed {
+		return db.sweepEvictions()
+	}
+	return nil
 }
 
 // writeBack is the buffer pool's callback, running under the evicting
@@ -416,6 +492,11 @@ func (db *DB) commitLocked() error {
 	if err := db.sweepEvictions(); err != nil {
 		return err
 	}
+	// Everything the log committed so far is applied to the trees (Txn
+	// apply happens under db.mu, which we hold), so the batch this commit
+	// writes covers every seq up to here — the checkpoint watermark the
+	// metadata page records and the log truncates past.
+	ck := db.wal.Seq()
 	// A sticky write-back error means some earlier eviction-path callback
 	// failed (impossible in this engine's callback, which only queues, but
 	// the pool contract allows it). Surface it once and clear it so the
@@ -479,7 +560,7 @@ func (db *DB) commitLocked() error {
 	for _, id := range dels {
 		b.Delete(id)
 	}
-	meta, ovf, err := db.encodeMeta()
+	meta, ovf, err := db.encodeMeta(ck)
 	if err != nil {
 		db.restoreStage(stage)
 		return err
@@ -514,6 +595,16 @@ func (db *DB) commitLocked() error {
 	db.commits++
 	db.commitPages += uint64(len(ids)) + uint64(metaMembers)
 	db.hBatch.Record(uint64(len(ids)) + uint64(metaMembers))
+	db.epoch.Add(1)
+	// The checkpoint is durable (under DurCommit, Apply group-fsynced it):
+	// only NOW may the log let go of the transactions it covers. Truncating
+	// any earlier could lose acknowledged commits to a torn batch.
+	if ck > db.walSeq {
+		db.walSeq = ck
+		if err := db.wal.Truncate(ck); err != nil {
+			return fmt.Errorf("pagedb: commit durable, but truncating the wal failed: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -547,6 +638,9 @@ func (db *DB) Close() error {
 	}
 	err := db.commitLocked()
 	db.closed = true
+	if werr := db.wal.Close(); err == nil && !errors.Is(werr, wal.ErrClosed) {
+		err = werr
+	}
 	if cerr := db.st.Close(); err == nil {
 		err = cerr
 	}
@@ -573,6 +667,16 @@ type Stats struct {
 	Faults uint64
 	// StagedEvictions counts dirty evictions staged between commits.
 	StagedEvictions uint64
+	// Txns counts committed transactions applied to the trees (Txn.Commit
+	// and WAL replay both count).
+	Txns uint64
+	// Epoch is the read-snapshot epoch: bumped once per applied transaction
+	// and once per checkpoint, so two View calls observing the same epoch
+	// saw the same committed state.
+	Epoch uint64
+	// WAL summarizes the write-ahead commit log (group-commit coalescing,
+	// truncations, durability watermark).
+	WAL wal.Stats
 }
 
 // Stats returns a snapshot of the database counters.
@@ -593,26 +697,34 @@ func (db *DB) Stats() Stats {
 		PendingPages:    len(db.pending),
 		Faults:          db.faults.Load(),
 		StagedEvictions: db.stagedEvicts,
+		Txns:            db.txns,
+		Epoch:           db.epoch.Load(),
+		WAL:             db.wal.Stats(),
 	}
 }
 
 // ovfHeaderBytes is the overflow page header: magic (8) | count (4).
 const ovfHeaderBytes = 12
 
-// metadata layout (little-endian), format 2:
+// metadata layout (little-endian), format 3:
 //
 //	page 0:     magic (8) | nextID (4) | ntrees (4) | nfree (4, total) |
-//	            novf (4), then per tree: nameLen (2) | name | root (4) |
-//	            height (4) | count (8), then free ids (4 each) up to the
-//	            end of the page
+//	            novf (4) | walSeq (8), then per tree: nameLen (2) | name |
+//	            root (4) | height (4) | count (8), then free ids (4 each)
+//	            up to the end of the page
 //	overflow j: magic (8) | count (4) | free ids (4 each), stored at page
 //	            metaOverflowBase+j
+//
+// walSeq is the WAL checkpoint watermark: every transaction with commit
+// seq ≤ walSeq is captured by the page state this metadata page commits,
+// so Open replays only the seqs beyond it. Format 2 is identical minus
+// the walSeq field (implicitly 0: no log existed).
 //
 // The free list never truncates: ids that do not fit page 0 spill into
 // overflow pages at reserved high page ids, committed as members of the
 // same atomic batch as the meta page, so DropTree- and merge-freed ids
 // survive reopen no matter how many there are.
-func (db *DB) encodeMeta() (meta []byte, ovf [][]byte, err error) {
+func (db *DB) encodeMeta(walSeq uint64) (meta []byte, ovf [][]byte, err error) {
 	if db.pool.MaxPageID() >= metaOverflowBase {
 		return nil, nil, fmt.Errorf("pagedb: page id space exhausted (next id %d reaches the metadata overflow range)", db.pool.MaxPageID())
 	}
@@ -624,6 +736,7 @@ func (db *DB) encodeMeta() (meta []byte, ovf [][]byte, err error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(free)))
 	novfOff := len(buf)
 	buf = binary.LittleEndian.AppendUint32(buf, 0) // patched below
+	buf = binary.LittleEndian.AppendUint64(buf, walSeq)
 	for _, name := range db.order {
 		t := db.trees[name]
 		if len(name) > 0xFFFF {
@@ -674,7 +787,13 @@ func (db *DB) decodeMeta(img []byte) error {
 	if len(img) >= 8 && string(img[:8]) == "PGDBMET1" {
 		return fmt.Errorf("pagedb: store uses the obsolete v1 metadata format (single-page free list); rebuild it with the current version")
 	}
-	if len(img) < 24 || string(img[:8]) != metaMagic {
+	hdr := 32
+	switch {
+	case len(img) >= 32 && string(img[:8]) == metaMagic:
+		db.walSeq = binary.LittleEndian.Uint64(img[24:32])
+	case len(img) >= 24 && string(img[:8]) == metaMagicV2:
+		hdr = 24 // pre-WAL store: checkpoint seq 0, nothing to replay
+	default:
 		return fmt.Errorf("pagedb: malformed metadata page")
 	}
 	nextID := binary.LittleEndian.Uint32(img[8:12])
@@ -686,7 +805,7 @@ func (db *DB) decodeMeta(img []byte) error {
 	if uint64(nfree) > uint64(nextID) || novf > nfree {
 		return fmt.Errorf("pagedb: malformed free list header (%d ids, %d overflow pages, next id %d)", nfree, novf, nextID)
 	}
-	off := 24
+	off := hdr
 	for i := 0; i < ntrees; i++ {
 		if off+2 > len(img) {
 			return fmt.Errorf("pagedb: truncated tree registry")

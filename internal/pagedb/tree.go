@@ -32,6 +32,16 @@ func (db *DB) Tree(name string) (*Tree, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
+	t, err := db.treeLocked(name)
+	if err != nil {
+		return nil, db.finishOp(err)
+	}
+	return t, db.finishOp(nil)
+}
+
+// treeLocked is Tree's body: get-or-create under the exclusive lock, also
+// the unit transaction apply and WAL replay build trees from.
+func (db *DB) treeLocked(name string) (*Tree, error) {
 	if name == "" {
 		return nil, fmt.Errorf("pagedb: empty tree name")
 	}
@@ -40,13 +50,13 @@ func (db *DB) Tree(name string) (*Tree, error) {
 	}
 	core, err := btree.NewCore(nodeStore{db}, db.pageSize, btree.PageLayout)
 	if err != nil {
-		return nil, db.finishOp(err)
+		return nil, err
 	}
 	t := &Tree{db: db, name: name, core: core}
 	db.trees[name] = t
 	db.order = append(db.order, name)
 	db.metaDirty = true
-	return t, db.finishOp(nil)
+	return t, nil
 }
 
 // TreeNames lists the named trees in creation order.
@@ -64,6 +74,11 @@ func (db *DB) DropTree(name string) error {
 	if db.closed {
 		return ErrClosed
 	}
+	return db.finishOp(db.dropTreeLocked(name))
+}
+
+// dropTreeLocked is DropTree's body, shared with transaction apply.
+func (db *DB) dropTreeLocked(name string) error {
 	t, ok := db.trees[name]
 	if !ok {
 		return fmt.Errorf("pagedb: no tree %q", name)
@@ -73,7 +88,7 @@ func (db *DB) DropTree(name string) error {
 	// half-freed with unreachable pages leaked.
 	pages, err := t.core.CollectPages()
 	if err != nil {
-		return db.finishOp(err)
+		return err
 	}
 	for _, id := range pages {
 		db.freeNode(id)
@@ -87,7 +102,7 @@ func (db *DB) DropTree(name string) error {
 		}
 	}
 	db.metaDirty = true
-	return db.finishOp(nil)
+	return nil
 }
 
 func (t *Tree) guard() error {
@@ -146,27 +161,40 @@ func (t *Tree) GetInto(key uint64, dst []byte) ([]byte, bool, error) {
 	return dst, ok, err
 }
 
+// checkValue enforces the per-value limits shared by Tree.Put and
+// Txn.Put: three leaf entries must fit a page (the split logic's floor)
+// and the page image's 16-bit length field must hold the value.
+func (db *DB) checkValue(value []byte) error {
+	if btree.LeafEntryBytes(value)*3 > db.budget() {
+		return fmt.Errorf("%w: %d bytes does not fit 3 per %d-byte page", ErrTooLarge, len(value), db.pageSize)
+	}
+	if len(value) > 0xFFFF {
+		return fmt.Errorf("%w: %d bytes overflows the page format's length field", ErrTooLarge, len(value))
+	}
+	return nil
+}
+
 // Put stores value under key, replacing any existing value. The value is
 // copied.
 func (t *Tree) Put(key uint64, value []byte) error {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
+	return t.db.finishOp(t.putLocked(key, value))
+}
+
+// putLocked is Put's body, shared with transaction apply and WAL replay.
+func (t *Tree) putLocked(key uint64, value []byte) error {
 	if err := t.guard(); err != nil {
 		return err
 	}
-	if btree.LeafEntryBytes(value)*3 > t.db.budget() {
-		return fmt.Errorf("%w: %d bytes does not fit 3 per %d-byte page", ErrTooLarge, len(value), t.db.pageSize)
-	}
-	if len(value) > 0xFFFF {
-		// The page image's 16-bit length field caps values regardless of
-		// how large the page is.
-		return fmt.Errorf("%w: %d bytes overflows the page format's length field", ErrTooLarge, len(value))
+	if err := t.db.checkValue(value); err != nil {
+		return err
 	}
 	added, err := t.core.Insert(key, append([]byte(nil), value...))
 	if added {
 		t.db.metaDirty = true // the persisted entry count changed
 	}
-	return t.db.finishOp(err)
+	return err
 }
 
 // Delete removes key, rebalancing underfull nodes (borrow from a richer
@@ -175,6 +203,13 @@ func (t *Tree) Put(key uint64, value []byte) error {
 func (t *Tree) Delete(key uint64) (bool, error) {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
+	deleted, err := t.deleteLocked(key)
+	return deleted, t.db.finishOp(err)
+}
+
+// deleteLocked is Delete's body, shared with transaction apply and WAL
+// replay.
+func (t *Tree) deleteLocked(key uint64) (bool, error) {
 	if err := t.guard(); err != nil {
 		return false, err
 	}
@@ -182,7 +217,7 @@ func (t *Tree) Delete(key uint64) (bool, error) {
 	if deleted {
 		t.db.metaDirty = true
 	}
-	return deleted, t.db.finishOp(err)
+	return deleted, err
 }
 
 // Scan visits keys in [from, to] in order, stopping early if fn returns

@@ -1,0 +1,402 @@
+package pagedb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/wal"
+)
+
+// ErrTxnDone is returned by operations on a committed or rolled-back
+// transaction.
+var ErrTxnDone = errors.New("pagedb: transaction already finished")
+
+// Txn is a per-transaction unit of durability — the granularity the big
+// atomic Commit batch cannot offer. A transaction buffers its writes
+// privately (no-steal: nothing touches the shared trees until Commit, so
+// a checkpoint can never capture uncommitted state), reads through its
+// own buffer onto the committed state, and on Commit appends its ops to
+// the write-ahead log and applies them to the trees in one critical
+// section — WAL seq order is exactly apply order, so replay after a crash
+// reconstructs the same state. Durability comes from the log's group
+// fsync: many small transactions coalesce onto one fsync round, while
+// their dirty pages write back lazily through the next checkpoint
+// (DB.Commit).
+//
+// A Txn is NOT safe for concurrent use by multiple goroutines; different
+// transactions are. Conflict handling is the caller's problem (last
+// writer wins, as with direct Tree access) — this layer buys atomicity
+// and durability, not isolation between overlapping writers.
+type Txn struct {
+	db   *DB
+	id   uint64
+	done bool
+
+	// ops is the redo list in call order — exactly what the WAL logs and
+	// Commit applies. Overwrites stay as two entries; replay converges
+	// because it applies in the same order.
+	ops []wal.Op
+
+	// writes overlays the committed state for this transaction's own
+	// reads: per tree, the staged final value (or tombstone) per key.
+	writes  map[string]map[uint64]txnWrite
+	dropped map[string]bool // trees dropped by this txn (masks base reads)
+}
+
+// txnWrite distinguishes a staged put (any value, nil included) from a
+// staged delete.
+type txnWrite struct {
+	del bool
+	val []byte
+}
+
+// Begin starts a transaction. Read-only transactions are free: Commit
+// with no buffered writes touches neither the log nor the trees.
+func (db *DB) Begin() (*Txn, error) {
+	db.mu.RLock()
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	return &Txn{db: db, id: db.txnIDs.Add(1)}, nil
+}
+
+// ID returns the transaction's id (unique for the DB's lifetime,
+// including across reopens — ids resume past everything in the log).
+func (t *Txn) ID() uint64 { return t.id }
+
+func (t *Txn) stage(tree string) map[uint64]txnWrite {
+	if t.writes == nil {
+		t.writes = make(map[string]map[uint64]txnWrite)
+	}
+	m := t.writes[tree]
+	if m == nil {
+		m = make(map[uint64]txnWrite)
+		t.writes[tree] = m
+	}
+	return m
+}
+
+// Put stages value under key in the named tree (created at Commit if
+// missing). The value is copied; limits are checked now so Commit cannot
+// fail on a malformed write long after the caller moved on.
+func (t *Txn) Put(tree string, key uint64, value []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if tree == "" {
+		return fmt.Errorf("pagedb: empty tree name")
+	}
+	if err := t.db.checkValue(value); err != nil {
+		return err
+	}
+	v := append([]byte(nil), value...)
+	t.ops = append(t.ops, wal.Op{Kind: wal.OpPut, Tree: tree, Key: key, Value: v})
+	t.stage(tree)[key] = txnWrite{val: v}
+	return nil
+}
+
+// Delete stages the removal of key and reports whether the key currently
+// exists in this transaction's view. The removal is logged regardless —
+// redo must be deterministic whatever commits in between.
+func (t *Txn) Delete(tree string, key uint64) (bool, error) {
+	if t.done {
+		return false, ErrTxnDone
+	}
+	existed, err := t.exists(tree, key)
+	if err != nil {
+		return false, err
+	}
+	t.ops = append(t.ops, wal.Op{Kind: wal.OpDelete, Tree: tree, Key: key})
+	t.stage(tree)[key] = txnWrite{del: true}
+	return existed, nil
+}
+
+// DropTree stages dropping the named tree: base state is masked for this
+// transaction's reads, and keys written afterwards recreate the tree at
+// Commit.
+func (t *Txn) DropTree(tree string) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.ops = append(t.ops, wal.Op{Kind: wal.OpDropTree, Tree: tree})
+	if t.dropped == nil {
+		t.dropped = make(map[string]bool)
+	}
+	t.dropped[tree] = true
+	delete(t.writes, tree)
+	return nil
+}
+
+func (t *Txn) exists(tree string, key uint64) (bool, error) {
+	if w, ok := t.writes[tree][key]; ok {
+		return !w.del, nil
+	}
+	if t.dropped[tree] {
+		return false, nil
+	}
+	_, ok, err := t.db.readGet(tree, key, nil)
+	return ok, err
+}
+
+// Get returns the value under key as this transaction sees it: its own
+// staged writes first, the committed state beneath. The value is a copy.
+func (t *Txn) Get(tree string, key uint64) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrTxnDone
+	}
+	if w, ok := t.writes[tree][key]; ok {
+		if w.del {
+			return nil, false, nil
+		}
+		return append([]byte(nil), w.val...), true, nil
+	}
+	if t.dropped[tree] {
+		return nil, false, nil
+	}
+	return t.db.readGet(tree, key, nil)
+}
+
+// Scan visits keys in [from, to] in order as this transaction sees them:
+// staged writes merged over the committed state, tombstones suppressing
+// base keys. The value passed to fn must not be retained; fn must not
+// call back into the DB.
+func (t *Txn) Scan(tree string, from, to uint64, fn func(key uint64, value []byte) bool) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	ov := t.writes[tree]
+	keys := make([]uint64, 0, len(ov))
+	for k := range ov {
+		if k >= from && k <= to {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	i := 0
+	stopped := false
+	if !t.dropped[tree] {
+		err := t.db.readScan(tree, from, to, func(k uint64, v []byte) bool {
+			for i < len(keys) && keys[i] < k {
+				if w := ov[keys[i]]; !w.del {
+					if !fn(keys[i], w.val) {
+						stopped = true
+						return false
+					}
+				}
+				i++
+			}
+			if i < len(keys) && keys[i] == k {
+				w := ov[keys[i]]
+				i++
+				if w.del {
+					return true
+				}
+				if !fn(k, w.val) {
+					stopped = true
+					return false
+				}
+				return true
+			}
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil || stopped {
+			return err
+		}
+	}
+	for ; i < len(keys); i++ {
+		if w := ov[keys[i]]; !w.del {
+			if !fn(keys[i], w.val) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Commit makes the transaction durable and visible: its ops are appended
+// to the WAL and applied to the shared trees under the exclusive lock
+// (one critical section, so apply order equals log order), then the call
+// waits OUTSIDE the lock for the log's group fsync — concurrent
+// committers coalesce onto shared rounds, readers and other writers
+// proceed during the sync. With the store below DurCommit the wait is
+// free and durability degrades exactly like the rest of the engine.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	if len(t.ops) == 0 {
+		return nil
+	}
+	db := t.db
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	seq, err := db.wal.Append(t.id, t.ops)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	// The log accepted the transaction: from here on it WILL exist after a
+	// crash, so apply failures (a fault mid-split, an unpersistable page)
+	// are reported but do not un-log it — reopen replays it whole.
+	err = db.applyOps(t.ops)
+	if serr := db.sweepEvictions(); err == nil {
+		err = serr
+	}
+	db.txns++
+	db.epoch.Add(1)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return db.wal.Commit(seq)
+}
+
+// Rollback abandons the transaction: nothing was logged, nothing touched
+// the shared trees. Always succeeds on a live transaction.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	t.ops, t.writes, t.dropped = nil, nil, nil
+	return nil
+}
+
+// applyOps replays a transaction's ops onto the shared trees, in order.
+// Caller holds db.mu exclusively (or is Open's replay, pre-concurrency).
+// The semantics are redo-idempotent: put creates the tree if missing,
+// delete and droptree of something absent are no-ops — so replaying an
+// already-checkpointed suffix converges to the same state.
+func (db *DB) applyOps(ops []wal.Op) error {
+	for _, op := range ops {
+		switch op.Kind {
+		case wal.OpPut:
+			tr, err := db.treeLocked(op.Tree)
+			if err != nil {
+				return err
+			}
+			if err := tr.putLocked(op.Key, op.Value); err != nil {
+				return err
+			}
+		case wal.OpDelete:
+			tr, ok := db.trees[op.Tree]
+			if !ok {
+				continue
+			}
+			if _, err := tr.deleteLocked(op.Key); err != nil {
+				return err
+			}
+		case wal.OpDropTree:
+			if _, ok := db.trees[op.Tree]; !ok {
+				continue
+			}
+			if err := db.dropTreeLocked(op.Tree); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("pagedb: unknown wal op kind %v", op.Kind)
+		}
+	}
+	return nil
+}
+
+// readGet is the shared-guard point read transactions and views build on:
+// tree missing reads as key missing (a Txn must not create trees as a
+// side effect of reading).
+func (db *DB) readGet(tree string, key uint64, dst []byte) ([]byte, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	tr, ok := db.trees[tree]
+	if !ok {
+		return nil, false, nil
+	}
+	v, ok, err := tr.core.Get(key)
+	dst = dst[:0]
+	if ok {
+		dst = append(dst, v...)
+	}
+	return dst, ok, err
+}
+
+// readScan is readGet's range sibling.
+func (db *DB) readScan(tree string, from, to uint64, fn func(uint64, []byte) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	tr, ok := db.trees[tree]
+	if !ok {
+		return nil
+	}
+	return tr.core.Scan(from, to, fn)
+}
+
+// View is a consistent read snapshot: the function runs with the shared
+// guard held for its whole duration, so no transaction can apply and no
+// checkpoint can install between two reads — the multi-read atomicity a
+// single Get never needed and a committing writer would otherwise break.
+// The callback must not write (Put, Commit, Begin→Commit) or it will
+// self-deadlock; values passed out must be copied by the caller if
+// retained (Get already copies).
+func (db *DB) View(fn func(v *View) error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return fn(&View{db: db})
+}
+
+// View is the handle a DB.View callback reads through. Using it outside
+// its callback is a bug (the guard is no longer held).
+type View struct {
+	db *DB
+}
+
+// Epoch identifies the committed state this view observes: it advances
+// once per applied transaction and per checkpoint, so two View calls
+// returning the same epoch saw identical committed state.
+func (v *View) Epoch() uint64 { return v.db.epoch.Load() }
+
+// Get returns a copy of the value under key in the named tree (missing
+// tree reads as missing key).
+func (v *View) Get(tree string, key uint64) ([]byte, bool, error) {
+	tr, ok := v.db.trees[tree]
+	if !ok {
+		return nil, false, nil
+	}
+	val, ok, err := tr.core.Get(key)
+	if !ok {
+		return nil, ok, err
+	}
+	return append([]byte(nil), val...), ok, err
+}
+
+// Scan visits keys in [from, to] in order. The value slice is the tree's
+// internal copy: fn must not modify or retain it, nor call back into the
+// DB.
+func (v *View) Scan(tree string, from, to uint64, fn func(key uint64, value []byte) bool) error {
+	tr, ok := v.db.trees[tree]
+	if !ok {
+		return nil
+	}
+	return tr.core.Scan(from, to, fn)
+}
+
+// Epoch returns the DB-wide snapshot epoch (see View.Epoch).
+func (db *DB) Epoch() uint64 { return db.epoch.Load() }

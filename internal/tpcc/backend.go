@@ -54,6 +54,60 @@ type funcBackend[T Table] struct {
 func (b funcBackend[T]) Table(name string) (Table, error) { return b.table(name) }
 func (b funcBackend[T]) Commit() error                    { return b.commit() }
 
+// Txn is one storage transaction: table operations addressed by name, made
+// durable atomically by Commit (on pagedb, a WAL group-commit — many
+// concurrent transactions share one fsync) or abandoned by Rollback. The
+// method set structurally matches *pagedb.Txn.
+type Txn interface {
+	Get(table string, key uint64) ([]byte, bool, error)
+	Put(table string, key uint64, value []byte) error
+	Delete(table string, key uint64) (bool, error)
+	Scan(table string, from, to uint64, fn func(key uint64, value []byte) bool) error
+	Commit() error
+	Rollback() error
+}
+
+// TxnBackend is a Backend that also offers per-transaction durability.
+// When a backend implements it, RunConcurrent wraps every TPC-C
+// transaction in one storage transaction instead of relying solely on the
+// periodic checkpoint batch (Backend.Commit still runs every
+// CheckpointEveryTx as the page write-back / log-truncation boundary).
+type TxnBackend interface {
+	Backend
+	Begin() (Txn, error)
+}
+
+// NewTxnBackend is NewBackend plus a transaction constructor — e.g.
+// NewTxnBackend(db.Tree, db.Commit, db.Begin) for *pagedb.DB.
+func NewTxnBackend[T Table, X Txn](table func(name string) (T, error), commit func() error, begin func() (X, error)) TxnBackend {
+	return txnFuncBackend[T, X]{funcBackend[T]{table: table, commit: commit}, begin}
+}
+
+type txnFuncBackend[T Table, X Txn] struct {
+	funcBackend[T]
+	begin func() (X, error)
+}
+
+func (b txnFuncBackend[T, X]) Begin() (Txn, error) { return b.begin() }
+
+// txnTable binds one table's operations to an open transaction: the
+// rebound engine's reads see the transaction's own writes, and nothing
+// reaches the shared trees until Commit. Len stays on the base table — it
+// is a load/test-side measure, never used inside a transaction body.
+type txnTable struct {
+	x    Txn
+	name string
+	base Table
+}
+
+func (t txnTable) Get(key uint64) ([]byte, bool, error) { return t.x.Get(t.name, key) }
+func (t txnTable) Put(key uint64, value []byte) error   { return t.x.Put(t.name, key, value) }
+func (t txnTable) Delete(key uint64) (bool, error)      { return t.x.Delete(t.name, key) }
+func (t txnTable) Scan(from, to uint64, fn func(uint64, []byte) bool) error {
+	return t.x.Scan(t.name, from, to, fn)
+}
+func (t txnTable) Len() int { return t.base.Len() }
+
 // memBackend is the built-in trace-generating backend: one B+-tree per
 // table over a shared CLOCK buffer pool.
 type memBackend struct {

@@ -154,6 +154,11 @@ type Engine struct {
 	pool *bufferpool.Pool // in-memory backend's pool; nil for external backends
 	r    *rand.Rand
 
+	// txnBE, when set (UseTxns), wraps every TPC-C transaction in one
+	// storage transaction with its own durable commit; nil runs the
+	// historical batch mode where only the periodic checkpoint commits.
+	txnBE TxnBackend
+
 	warehouse Table
 	district  Table
 	customer  Table
@@ -253,13 +258,9 @@ func newEngine(cfg Config, be Backend, pool *bufferpool.Pool) (*Engine, error) {
 	for t := TxNewOrder; t <= TxStockLevel; t++ {
 		e.sh.txHist[t] = cfg.Obs.Histogram("tpcc.tx." + t.String() + ".ns")
 	}
-	fields := []*Table{
-		&e.warehouse, &e.district, &e.customer, &e.custName, &e.orders,
-		&e.orderCust, &e.newOrder, &e.orderLine, &e.history, &e.item, &e.stock,
-	}
 	var err error
 	for i, name := range tableNames {
-		if *fields[i], err = openTable(be, name); err != nil {
+		if *e.tableFields()[i], err = openTable(be, name); err != nil {
 			return nil, err
 		}
 	}
@@ -277,6 +278,27 @@ func newEngine(cfg Config, be Backend, pool *bufferpool.Pool) (*Engine, error) {
 		return nil, fmt.Errorf("tpcc: loading the initial database: %w", err)
 	}
 	return e, nil
+}
+
+// tableFields returns the engine's table-handle fields in tableNames
+// order, for construction and per-transaction rebinding.
+func (e *Engine) tableFields() []*Table {
+	return []*Table{
+		&e.warehouse, &e.district, &e.customer, &e.custName, &e.orders,
+		&e.orderCust, &e.newOrder, &e.orderLine, &e.history, &e.item, &e.stock,
+	}
+}
+
+// UseTxns switches the engine to per-transaction storage commits, if the
+// backend supports them (TxnBackend). It reports whether it did;
+// RunConcurrent calls it automatically so a transactional backend gets
+// transactional durability under concurrency.
+func (e *Engine) UseTxns() bool {
+	if tbe, ok := e.be.(TxnBackend); ok {
+		e.txnBE = tbe
+		return true
+	}
+	return false
 }
 
 // TableNames lists the TPC-C tables in their fixed creation order.

@@ -52,6 +52,7 @@ func (e *Engine) RunConcurrent(total, workers int) error {
 		}
 		clone := *e
 		clone.r = rand.New(rand.NewPCG(uint64(e.cfg.Seed)+uint64(w)+1, 0x9a3c114be2f7d055))
+		clone.UseTxns() // transactional backends get per-transaction commits
 		wg.Add(1)
 		go func(c *Engine, n int) {
 			defer wg.Done()
@@ -63,27 +64,18 @@ func (e *Engine) RunConcurrent(total, workers int) error {
 }
 
 // RunOne executes a single transaction drawn from the standard mix and
-// returns its type.
+// returns its type. With UseTxns in effect, the whole TPC-C transaction
+// runs inside one storage transaction and is durable when RunOne returns;
+// otherwise durability comes only from the periodic checkpoint.
 func (e *Engine) RunOne() Tx {
 	w := 1 + e.r.IntN(e.cfg.Warehouses)
-	var tx Tx
+	p := e.r.IntN(100)
 	t0 := time.Now()
-	switch p := e.r.IntN(100); {
-	case p < 45:
-		tx = TxNewOrder
-		e.newOrderTx(w)
-	case p < 88:
-		tx = TxPayment
-		e.paymentTx(w)
-	case p < 92:
-		tx = TxOrderStatus
-		e.orderStatusTx(w)
-	case p < 96:
-		tx = TxDelivery
-		e.deliveryTx(w)
-	default:
-		tx = TxStockLevel
-		e.stockLevelTx(w)
+	var tx Tx
+	if e.txnBE != nil {
+		tx = e.runTxnOf(w, p)
+	} else {
+		tx = e.execTx(w, p)
 	}
 	e.sh.txHist[tx].Record(uint64(time.Since(t0)))
 	e.sh.txCounts[tx].Add(1)
@@ -92,6 +84,68 @@ func (e *Engine) RunOne() Tx {
 			e.sh.txSinceCkp.Store(0)
 			e.commit()
 		}
+	}
+	return tx
+}
+
+// txOf maps a mix draw (0-99) to its transaction type: New-Order 45%,
+// Payment 43%, Order-Status 4%, Delivery 4%, Stock-Level 4%.
+func txOf(p int) Tx {
+	switch {
+	case p < 45:
+		return TxNewOrder
+	case p < 88:
+		return TxPayment
+	case p < 92:
+		return TxOrderStatus
+	case p < 96:
+		return TxDelivery
+	default:
+		return TxStockLevel
+	}
+}
+
+// execTx runs one transaction body against the engine's bound tables.
+func (e *Engine) execTx(w, p int) Tx {
+	tx := txOf(p)
+	switch tx {
+	case TxNewOrder:
+		e.newOrderTx(w)
+	case TxPayment:
+		e.paymentTx(w)
+	case TxOrderStatus:
+		e.orderStatusTx(w)
+	case TxDelivery:
+		e.deliveryTx(w)
+	case TxStockLevel:
+		e.stockLevelTx(w)
+	}
+	return tx
+}
+
+// runTxnOf executes one TPC-C transaction inside a storage transaction: a
+// shallow engine clone has its table handles rebound to the transaction,
+// so every read sees the transaction's own writes and nothing touches the
+// shared trees until Commit. The 1% New-Order "abort" stays a logical
+// abort (early return, partial writes committed) — identical state to
+// batch mode, so the mem-vs-pagedb equivalence and the §6.3 trace shape
+// survive the durability upgrade.
+func (e *Engine) runTxnOf(w, p int) Tx {
+	x, err := e.txnBE.Begin()
+	if err != nil {
+		e.fail(err)
+		return txOf(p)
+	}
+	sub := *e
+	sub.txnBE = nil
+	for i, f := range sub.tableFields() {
+		*f = txnTable{x: x, name: tableNames[i], base: *f}
+	}
+	tx := sub.execTx(w, p)
+	if e.broken() {
+		x.Rollback()
+	} else {
+		e.fail(x.Commit())
 	}
 	return tx
 }

@@ -1,0 +1,751 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Options configures Open.
+type Options struct {
+	// Dir holds the generation files. Empty means volatile mode: Append
+	// assigns commit seqs and Commit returns immediately, but nothing is
+	// written — the mode pagedb uses over an in-memory store, where there
+	// is no crash to recover from.
+	Dir string
+
+	// NoSync skips every fsync. Commit acknowledges as soon as the OS has
+	// the bytes; a crash can lose acknowledged transactions (matching the
+	// store's weaker durability levels).
+	NoSync bool
+
+	// Obs receives wal.append.ns / wal.fsync.ns / wal.commit.ns latency
+	// histograms and the group-commit counters. Nil disables metrics.
+	Obs *obs.Registry
+}
+
+// Stats is a point-in-time summary of the log.
+type Stats struct {
+	Seq         uint64 // last assigned commit seq
+	Durable     uint64 // highest commit seq known fsynced
+	Generation  uint64 // current generation number
+	Generations int    // generation files on disk
+	Commits     uint64 // Commit waits served
+	Rounds      uint64 // group-fsync rounds run
+	Syncs       uint64 // fsync syscalls issued by rounds
+	Truncations uint64 // checkpoint rotations
+}
+
+type genInfo struct {
+	gen     uint64
+	baseSeq uint64
+	path    string
+}
+
+// fsyncRound is one in-flight group fsync; waiters block on done and read
+// err after it closes.
+type fsyncRound struct {
+	done chan struct{}
+	err  error
+}
+
+// Log is an append-only redo log of committed transactions. One writer at
+// a time may Append (callers serialize — pagedb appends under its write
+// lock so commit-seq order is exactly apply order); any number of
+// goroutines may Commit concurrently, coalescing onto shared fsync rounds
+// exactly like the store's DurCommit group commit.
+//
+// Lock order: flushMu → mu → gs.mu. flushMu is held across every fsync
+// and across Truncate's rotation, so rotation never closes a file an
+// fsync round still holds; appends take only mu and therefore proceed
+// while a round is syncing — that overlap is the group-commit win.
+type Log struct {
+	dir    string // "" in volatile mode
+	noSync bool
+
+	flushMu sync.Mutex
+
+	mu     sync.Mutex
+	f      *os.File // nil in volatile mode
+	gens   []genInfo
+	seq    uint64
+	maxTxn uint64
+	names  map[string]uint32 // tree-name interning, reset each generation
+	nextID uint32
+	buf    []byte // staging buffer: one transaction, one Write
+	closed bool
+	err    error // sticky append error: a torn in-place write poisons the log
+
+	gs struct {
+		mu      sync.Mutex
+		durable uint64
+		cur     *fsyncRound
+		commits uint64
+		rounds  uint64
+		syncs   uint64
+	}
+
+	truncations uint64
+
+	hAppend  *obs.Histogram
+	hFsync   *obs.Histogram
+	hCommit  *obs.Histogram
+	cCommits *obs.Counter
+	cRounds  *obs.Counter
+	cSyncs   *obs.Counter
+	cTrunc   *obs.Counter
+}
+
+func genPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", gen))
+}
+
+// Open opens (or creates) the log in opts.Dir, repairing the tail: the
+// final generation is physically truncated to the end of its last commit
+// record, so a torn final transaction — ops written, commit record not —
+// vanishes wholesale before the writer ever appends again.
+func Open(opts Options) (*Log, error) {
+	l := &Log{
+		dir:      opts.Dir,
+		noSync:   opts.NoSync,
+		names:    make(map[string]uint32),
+		nextID:   1,
+		hAppend:  opts.Obs.Histogram("wal.append.ns"),
+		hFsync:   opts.Obs.Histogram("wal.fsync.ns"),
+		hCommit:  opts.Obs.Histogram("wal.commit.ns"),
+		cCommits: opts.Obs.Counter("wal.commit.commits"),
+		cRounds:  opts.Obs.Counter("wal.commit.rounds"),
+		cSyncs:   opts.Obs.Counter("wal.commit.syncs"),
+		cTrunc:   opts.Obs.Counter("wal.truncations"),
+	}
+	if l.dir == "" {
+		return l, nil
+	}
+	if err := os.MkdirAll(l.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// listGens returns the generation files in ascending generation order.
+func listGens(dir string) ([]genInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var gens []genInfo
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		g, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, genInfo{gen: g, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].gen < gens[j].gen })
+	return gens, nil
+}
+
+// recover scans the generation files, establishes seq/maxTxn/bindings,
+// and repairs the tail. A generation that does not scan clean — or whose
+// header does not chain from its predecessor — becomes the effective
+// final generation: it is truncated to its last commit record and every
+// later file is deleted. Under DurCommit only the true final generation
+// can be in that state (Truncate fsyncs a generation before rotating past
+// it); under NoSync this degrades gracefully to the longest intact
+// committed prefix.
+func (l *Log) recover() error {
+	gens, err := listGens(l.dir)
+	if err != nil {
+		return err
+	}
+	if len(gens) == 0 {
+		return l.createGen(1, 0, nil)
+	}
+	var seq uint64
+	var kept []genInfo
+	var final scannedGen
+	var finalSize int
+	for i := range gens {
+		data, err := os.ReadFile(gens[i].path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		g, base, ok := decodeGenHeader(data)
+		if !ok || g != gens[i].gen || (len(kept) > 0 && base != seq) {
+			if len(kept) == 0 {
+				if len(gens) > 1 {
+					return fmt.Errorf("wal: first generation %s has a corrupt header", gens[i].path)
+				}
+				// A lone, header-torn file: initial creation crashed.
+				// Start over.
+				if err := os.Remove(gens[i].path); err != nil {
+					return fmt.Errorf("wal: %w", err)
+				}
+				return l.createGen(gens[i].gen+1, 0, nil)
+			}
+			// Rotation crashed before this file's header was durable: the
+			// predecessor is the real tail.
+			return l.adoptTail(kept, final, finalSize, gens[i:])
+		}
+		if len(kept) == 0 {
+			seq = base
+		}
+		sg, err := scanGenData(data, base, nil, 0)
+		if err != nil {
+			return err
+		}
+		gens[i].baseSeq = base
+		kept = append(kept, gens[i])
+		seq = sg.lastSeq
+		final = sg
+		finalSize = len(data)
+		if l.maxTxn < sg.maxTxn {
+			l.maxTxn = sg.maxTxn
+		}
+		if !sg.clean || sg.tail != len(data) {
+			// Torn or trailing-uncommitted records: this generation is the
+			// effective tail; anything after it never became real.
+			return l.adoptTail(kept, final, finalSize, gens[i+1:])
+		}
+	}
+	return l.adoptTail(kept, final, finalSize, nil)
+}
+
+// adoptTail finishes recovery: truncates the final kept generation to its
+// committed prefix, deletes orphaned later files, rebuilds the writer's
+// intern table from the retained prefix, and leaves the file open for
+// appends.
+func (l *Log) adoptTail(kept []genInfo, final scannedGen, fileSize int, orphans []genInfo) error {
+	for _, o := range orphans {
+		if err := os.Remove(o.path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	last := kept[len(kept)-1]
+	f, err := os.OpenFile(last.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if final.tail != fileSize {
+		if err := f.Truncate(int64(final.tail)); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if !l.noSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: %w", err)
+			}
+		}
+	}
+	if len(orphans) > 0 && !l.noSync {
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.f = f
+	l.gens = kept
+	l.seq = final.lastSeq
+	l.names = make(map[string]uint32)
+	l.nextID = 1
+	for _, b := range final.binds {
+		if b.end <= final.tail {
+			l.names[b.name] = b.id
+			if b.id >= l.nextID {
+				l.nextID = b.id + 1
+			}
+		}
+	}
+	l.gs.durable = l.seq // everything retained is on stable storage
+	return nil
+}
+
+// createGen creates a fresh generation file and makes it current. old is
+// the outgoing file (already fsynced by the caller), closed after the new
+// file is durable.
+func (l *Log) createGen(gen, baseSeq uint64, old *os.File) error {
+	path := genPath(l.dir, gen)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var hdr [genHeaderSize]byte
+	encodeGenHeader(hdr[:], gen, baseSeq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if !l.noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if old != nil {
+		old.Close()
+	}
+	l.f = f
+	l.gens = append(l.gens, genInfo{gen: gen, baseSeq: baseSeq, path: path})
+	l.names = make(map[string]uint32)
+	l.nextID = 1
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("wal: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Append logs one transaction — any bind records its trees still need
+// this generation, its ops, and the terminal commit record — in a single
+// buffered write, and returns the assigned commit seq. The transaction is
+// NOT durable until Commit(seq) returns; callers serialize Append with
+// the state mutation it describes so seq order is apply order.
+func (l *Log) Append(txnID uint64, ops []Op) (uint64, error) {
+	t0 := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	seq := l.seq + 1
+	if l.f == nil { // volatile
+		l.seq = seq
+		if txnID > l.maxTxn {
+			l.maxTxn = txnID
+		}
+		return seq, nil
+	}
+	buf := l.buf[:0]
+	for _, op := range ops {
+		id, ok := l.names[op.Tree]
+		if !ok {
+			id = l.nextID
+			l.nextID++
+			l.names[op.Tree] = id
+			buf = appendBind(buf, id, op.Tree)
+		}
+		buf = appendOp(buf, txnID, id, op)
+	}
+	buf = appendCommit(buf, txnID, seq, len(ops))
+	l.buf = buf[:0] // keep the capacity
+	if _, err := l.f.Write(buf); err != nil {
+		// The file may now hold a partial transaction; further appends
+		// would interleave with the wreckage, so poison the log. (The torn
+		// tail is exactly what Open repairs on restart.)
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return 0, l.err
+	}
+	l.seq = seq
+	if txnID > l.maxTxn {
+		l.maxTxn = txnID
+	}
+	l.hAppend.Record(uint64(time.Since(t0)))
+	return seq, nil
+}
+
+// Commit blocks until the transaction with the given commit seq is
+// durable. Concurrent committers coalesce: one goroutine runs the fsync
+// round, the rest piggyback on its outcome and only start another round
+// if their seq is still not covered.
+func (l *Log) Commit(seq uint64) error {
+	t0 := time.Now()
+	g := &l.gs
+	g.mu.Lock()
+	g.commits++
+	g.mu.Unlock()
+	l.cCommits.Inc()
+	err := l.waitDurable(seq)
+	l.hCommit.Record(uint64(time.Since(t0)))
+	return err
+}
+
+func (l *Log) waitDurable(target uint64) error {
+	if l.dir == "" || l.noSync {
+		// Nothing to fsync: volatile mode has no file, NoSync acknowledges
+		// on write. (dir and noSync are immutable, so this needs no lock —
+		// l.f is NOT safe to read here, rotation swaps it under l.mu.)
+		g := &l.gs
+		g.mu.Lock()
+		if target > g.durable {
+			g.durable = target
+		}
+		g.mu.Unlock()
+		return nil
+	}
+	g := &l.gs
+	g.mu.Lock()
+	for g.durable < target {
+		if r := g.cur; r != nil {
+			// Piggyback on the in-flight round, then re-check: the round
+			// may have started before our records were appended.
+			g.mu.Unlock()
+			<-r.done
+			if r.err != nil {
+				return r.err
+			}
+			g.mu.Lock()
+			continue
+		}
+		r := &fsyncRound{done: make(chan struct{})}
+		g.cur = r
+		g.mu.Unlock()
+		upTo, err := l.fsyncTail()
+		g.mu.Lock()
+		g.rounds++
+		g.syncs++
+		l.cRounds.Inc()
+		l.cSyncs.Inc()
+		if err == nil && upTo > g.durable {
+			g.durable = upTo
+		}
+		r.err = err
+		g.cur = nil
+		close(r.done)
+		if err != nil {
+			g.mu.Unlock()
+			return err
+		}
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// fsyncTail runs one flush round: everything appended before the fsync
+// starts becomes durable. flushMu keeps Truncate from rotating the file
+// out from under the sync.
+func (l *Log) fsyncTail() (upTo uint64, err error) {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	f := l.f
+	upTo = l.seq
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	t0 := time.Now()
+	err = f.Sync()
+	l.hFsync.Record(uint64(time.Since(t0)))
+	if err != nil {
+		return 0, fmt.Errorf("wal: fsync: %w", err)
+	}
+	return upTo, nil
+}
+
+// Truncate records that a checkpoint now covers every transaction with
+// commit seq ≤ seq: the current generation is fsynced and rotated, and
+// generation files entirely at or below the checkpoint are deleted. The
+// caller must guarantee the checkpoint itself is durable first —
+// otherwise acknowledged transactions would exist nowhere.
+func (l *Log) Truncate(seq uint64) error {
+	if l.dir == "" {
+		return nil
+	}
+	l.flushMu.Lock() // waits out any in-flight fsync round
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	old := l.f
+	if !l.noSync {
+		t0 := time.Now()
+		err := old.Sync()
+		l.hFsync.Record(uint64(time.Since(t0)))
+		if err != nil {
+			return fmt.Errorf("wal: fsync before rotate: %w", err)
+		}
+	}
+	cur := l.gens[len(l.gens)-1]
+	if err := l.createGen(cur.gen+1, l.seq, old); err != nil {
+		// The old file is still current and intact; the rotation simply
+		// did not happen.
+		l.f = old
+		return err
+	}
+	// The rotated-away generation is fully synced: advance the durability
+	// watermark so no committer waits on an fsync of a file that will
+	// never be written again.
+	l.gs.mu.Lock()
+	if l.seq > l.gs.durable {
+		l.gs.durable = l.seq
+	}
+	l.gs.mu.Unlock()
+	// Delete generations whose every record is checkpoint-covered: gens[i]
+	// ends where gens[i+1] begins, so it is disposable once that boundary
+	// is ≤ seq.
+	keep := l.gens[:0]
+	removed := false
+	for i, g := range l.gens {
+		if i+1 < len(l.gens) && l.gens[i+1].baseSeq <= seq {
+			if err := os.Remove(g.path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			removed = true
+			continue
+		}
+		keep = append(keep, g)
+	}
+	l.gens = append([]genInfo(nil), keep...)
+	if removed && !l.noSync {
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	l.truncations++
+	l.cTrunc.Inc()
+	return nil
+}
+
+// Replay re-reads the generation files and calls fn for each committed
+// transaction with commit seq > afterSeq, in commit order. Transactions
+// whose commit record never made it to disk are not surfaced at all —
+// the torn-tail-vanishes-wholesale guarantee. The Op.Value slices alias
+// a scan buffer valid only during fn.
+func (l *Log) Replay(afterSeq uint64, fn func(*Txn) error) error {
+	if l.dir == "" {
+		return nil
+	}
+	l.mu.Lock()
+	gens := append([]genInfo(nil), l.gens...)
+	l.mu.Unlock()
+	for _, g := range gens {
+		data, err := os.ReadFile(g.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if _, base, ok := decodeGenHeader(data); !ok || base != g.baseSeq {
+			return fmt.Errorf("wal: generation %s changed under replay", g.path)
+		}
+		if _, err := scanGenData(data, g.baseSeq, fn, afterSeq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seq returns the last assigned commit seq.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// MaxTxnID returns the largest transaction id among the retained
+// committed records (0 if none): the floor for new transaction ids, so a
+// restarted writer can never collide with ids still present in the tail.
+func (l *Log) MaxTxnID() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.maxTxn
+}
+
+// Stats summarizes the log.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	s := Stats{
+		Seq:         l.seq,
+		Truncations: l.truncations,
+		Generations: len(l.gens),
+	}
+	if len(l.gens) > 0 {
+		s.Generation = l.gens[len(l.gens)-1].gen
+	}
+	l.mu.Unlock()
+	l.gs.mu.Lock()
+	s.Durable = l.gs.durable
+	s.Commits = l.gs.commits
+	s.Rounds = l.gs.rounds
+	s.Syncs = l.gs.syncs
+	l.gs.mu.Unlock()
+	return s
+}
+
+// Close fsyncs and closes the current generation file. Waiting committers
+// see the final round's outcome; later calls fail with ErrClosed.
+func (l *Log) Close() error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if !l.noSync && l.err == nil {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// scannedGen is one generation's scan result.
+type scannedGen struct {
+	lastSeq uint64   // last committed seq (baseSeq if none committed here)
+	maxTxn  uint64   // largest committed txn id in this generation
+	tail    int      // offset just past the last commit record
+	clean   bool     // reached EOF with every record intact
+	binds   []bindAt // bind records with their end offsets
+}
+
+type bindAt struct {
+	end  int
+	id   uint32
+	name string
+}
+
+// scanGenData walks one generation's records. With emit != nil it
+// surfaces each committed transaction with seq > afterSeq (the Replay
+// path); with emit == nil it only computes the recovery summary (the Open
+// path). A record that fails its checksum, a commit seq out of order, or
+// an op naming an unbound tree all end the scan at that point — the
+// committed prefix before it stands, everything after is tail wreckage.
+func scanGenData(data []byte, baseSeq uint64, emit func(*Txn) error, afterSeq uint64) (scannedGen, error) {
+	sg := scannedGen{lastSeq: baseSeq, tail: genHeaderSize}
+	names := make(map[uint32]string)
+	pending := make(map[uint64][]Op)
+	off := genHeaderSize
+scan:
+	for off < len(data) {
+		rec, end, ok := nextRecord(data, off)
+		if !ok {
+			return sg, nil // torn tail: sg.clean stays false
+		}
+		p := rec.payload
+		switch rec.typ {
+		case recBind:
+			if len(p) < 6 {
+				return sg, nil
+			}
+			id := binary.LittleEndian.Uint32(p[0:4])
+			n := int(binary.LittleEndian.Uint16(p[4:6]))
+			if len(p) != 6+n {
+				return sg, nil
+			}
+			name := string(p[6:])
+			names[id] = name
+			sg.binds = append(sg.binds, bindAt{end: end, id: id, name: name})
+		case recPut, recDelete, recDropTree:
+			txnID, op, ok := decodeOp(rec, names)
+			if !ok {
+				return sg, nil
+			}
+			pending[txnID] = append(pending[txnID], op)
+		case recCommit:
+			if len(p) != 20 {
+				return sg, nil
+			}
+			txnID := binary.LittleEndian.Uint64(p[0:8])
+			seq := binary.LittleEndian.Uint64(p[8:16])
+			count := int(binary.LittleEndian.Uint32(p[16:20]))
+			ops := pending[txnID]
+			if seq != sg.lastSeq+1 || len(ops) != count {
+				return sg, nil
+			}
+			delete(pending, txnID)
+			sg.lastSeq = seq
+			sg.tail = end
+			if txnID > sg.maxTxn {
+				sg.maxTxn = txnID
+			}
+			if emit != nil && seq > afterSeq {
+				if err := emit(&Txn{ID: txnID, Seq: seq, Ops: ops}); err != nil {
+					return sg, err
+				}
+			}
+		default:
+			break scan
+		}
+		off = end
+	}
+	sg.clean = off == len(data)
+	return sg, nil
+}
+
+// decodeOp decodes a put/delete/droptree record against the generation's
+// bindings.
+func decodeOp(rec record, names map[uint32]string) (txnID uint64, op Op, ok bool) {
+	p := rec.payload
+	if len(p) < 12 {
+		return 0, Op{}, false
+	}
+	txnID = binary.LittleEndian.Uint64(p[0:8])
+	tree, bound := names[binary.LittleEndian.Uint32(p[8:12])]
+	if !bound {
+		return 0, Op{}, false
+	}
+	op.Tree = tree
+	switch rec.typ {
+	case recPut:
+		if len(p) < 20 {
+			return 0, Op{}, false
+		}
+		op.Kind = OpPut
+		op.Key = binary.LittleEndian.Uint64(p[12:20])
+		op.Value = p[20:]
+	case recDelete:
+		if len(p) != 20 {
+			return 0, Op{}, false
+		}
+		op.Kind = OpDelete
+		op.Key = binary.LittleEndian.Uint64(p[12:20])
+	case recDropTree:
+		if len(p) != 12 {
+			return 0, Op{}, false
+		}
+		op.Kind = OpDropTree
+	default:
+		return 0, Op{}, false
+	}
+	return txnID, op, true
+}

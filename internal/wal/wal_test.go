@@ -1,0 +1,462 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func openT(t *testing.T, dir string) *Log {
+	t.Helper()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// appendCommitT appends one transaction and waits for durability.
+func appendCommitT(t *testing.T, l *Log, txnID uint64, ops []Op) uint64 {
+	t.Helper()
+	seq, err := l.Append(txnID, ops)
+	if err != nil {
+		t.Fatalf("Append(txn %d): %v", txnID, err)
+	}
+	if err := l.Commit(seq); err != nil {
+		t.Fatalf("Commit(seq %d): %v", seq, err)
+	}
+	return seq
+}
+
+func collect(t *testing.T, l *Log, afterSeq uint64) []*Txn {
+	t.Helper()
+	var txns []*Txn
+	err := l.Replay(afterSeq, func(txn *Txn) error {
+		// Values alias the scan buffer: deep-copy for post-replay asserts.
+		cp := &Txn{ID: txn.ID, Seq: txn.Seq, Ops: make([]Op, len(txn.Ops))}
+		for i, op := range txn.Ops {
+			cp.Ops[i] = op
+			cp.Ops[i].Value = append([]byte(nil), op.Value...)
+		}
+		txns = append(txns, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay(%d): %v", afterSeq, err)
+	}
+	return txns
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	ops1 := []Op{
+		{Kind: OpPut, Tree: "orders", Key: 1, Value: []byte("a")},
+		{Kind: OpPut, Tree: "stock", Key: 2, Value: []byte("bb")},
+		{Kind: OpDelete, Tree: "orders", Key: 3},
+	}
+	ops2 := []Op{
+		{Kind: OpDropTree, Tree: "stock"},
+		{Kind: OpPut, Tree: "orders", Key: 4, Value: nil}, // empty value round-trips
+	}
+	s1 := appendCommitT(t, l, 7, ops1)
+	s2 := appendCommitT(t, l, 9, ops2)
+	if s1 != 1 || s2 != 2 {
+		t.Fatalf("seqs = %d, %d; want 1, 2", s1, s2)
+	}
+
+	check := func(l *Log) {
+		t.Helper()
+		txns := collect(t, l, 0)
+		if len(txns) != 2 {
+			t.Fatalf("replayed %d txns, want 2", len(txns))
+		}
+		if txns[0].ID != 7 || txns[0].Seq != 1 || txns[1].ID != 9 || txns[1].Seq != 2 {
+			t.Fatalf("txn identity mismatch: %+v", txns)
+		}
+		for i, want := range [][]Op{ops1, ops2} {
+			got := txns[i].Ops
+			if len(got) != len(want) {
+				t.Fatalf("txn %d: %d ops, want %d", i, len(got), len(want))
+			}
+			for j := range want {
+				if got[j].Kind != want[j].Kind || got[j].Tree != want[j].Tree ||
+					got[j].Key != want[j].Key || !bytes.Equal(got[j].Value, want[j].Value) {
+					t.Fatalf("txn %d op %d = %+v, want %+v", i, j, got[j], want[j])
+				}
+			}
+		}
+		if got := collect(t, l, s1); len(got) != 1 || got[0].ID != 9 {
+			t.Fatalf("Replay(after %d) = %+v, want only txn 9", s1, got)
+		}
+		if got := collect(t, l, s2); len(got) != 0 {
+			t.Fatalf("Replay(after %d) = %+v, want none", s2, got)
+		}
+	}
+	check(l)
+
+	// The same state must come back from disk.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, dir)
+	defer l2.Close()
+	if l2.Seq() != 2 || l2.MaxTxnID() != 9 {
+		t.Fatalf("reopened Seq=%d MaxTxnID=%d, want 2, 9", l2.Seq(), l2.MaxTxnID())
+	}
+	check(l2)
+	// Appends must continue the seq chain with the recovered intern table.
+	if s := appendCommitT(t, l2, 10, []Op{{Kind: OpPut, Tree: "orders", Key: 5, Value: []byte("c")}}); s != 3 {
+		t.Fatalf("post-reopen seq = %d, want 3", s)
+	}
+	if got := collect(t, l2, 0); len(got) != 3 {
+		t.Fatalf("replayed %d txns after reopen append, want 3", len(got))
+	}
+}
+
+// tailFile returns the newest generation file.
+func tailFile(t *testing.T, dir string) string {
+	t.Helper()
+	gens, err := listGens(dir)
+	if err != nil || len(gens) == 0 {
+		t.Fatalf("listGens: %v (%d files)", err, len(gens))
+	}
+	return gens[len(gens)-1].path
+}
+
+func TestTornTailDiscardsFinalTxnWholesale(t *testing.T) {
+	for _, cut := range []int{1, 5, 9, 30} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l := openT(t, dir)
+			appendCommitT(t, l, 1, []Op{{Kind: OpPut, Tree: "a", Key: 1, Value: []byte("keep")}})
+			fi1, err := os.Stat(tailFile(t, dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendCommitT(t, l, 2, []Op{
+				{Kind: OpPut, Tree: "a", Key: 2, Value: []byte("torn")},
+				{Kind: OpPut, Tree: "b", Key: 3, Value: []byte("torn")},
+			})
+			l.Close()
+
+			// Tear the tail: chop bytes off the final transaction. Every cut
+			// point — mid-commit-record, mid-op, mid-bind — must erase txn 2
+			// as a unit and leave txn 1 standing.
+			path := tailFile(t, dir)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cut >= len(data) {
+				t.Skipf("file only %d bytes", len(data))
+			}
+			if err := os.WriteFile(path, data[:len(data)-cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2 := openT(t, dir)
+			defer l2.Close()
+			txns := collect(t, l2, 0)
+			if len(txns) != 1 || txns[0].ID != 1 {
+				t.Fatalf("after tear: replayed %+v, want only txn 1", txns)
+			}
+			if l2.Seq() != 1 {
+				t.Fatalf("Seq = %d after tear, want 1", l2.Seq())
+			}
+			// Open must have repaired the file physically: truncated back to
+			// exactly the end of txn 1.
+			repaired, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if repaired.Size() != fi1.Size() {
+				t.Fatalf("repaired tail is %d bytes, want %d (end of txn 1)", repaired.Size(), fi1.Size())
+			}
+			// New appends go through and the torn txn id is not reused.
+			if l2.MaxTxnID() != 1 {
+				t.Fatalf("MaxTxnID = %d, want 1 (txn 2 vanished)", l2.MaxTxnID())
+			}
+			appendCommitT(t, l2, 2, []Op{{Kind: OpPut, Tree: "a", Key: 9, Value: []byte("new")}})
+			if got := collect(t, l2, 0); len(got) != 2 || got[1].Seq != 2 {
+				t.Fatalf("after repair+append: %+v", got)
+			}
+		})
+	}
+}
+
+func TestCorruptMiddleRecordEndsScanAtPriorCommit(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	appendCommitT(t, l, 1, []Op{{Kind: OpPut, Tree: "a", Key: 1, Value: []byte("one")}})
+	tail1, err := os.Stat(tailFile(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCommitT(t, l, 2, []Op{{Kind: OpPut, Tree: "a", Key: 2, Value: []byte("two")}})
+	appendCommitT(t, l, 3, []Op{{Kind: OpPut, Tree: "a", Key: 3, Value: []byte("three")}})
+	l.Close()
+
+	// Flip a byte inside txn 2's region: txns 2 AND 3 are gone (the log is
+	// a prefix code — nothing after a bad record can be trusted).
+	path := tailFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[tail1.Size()+recFrameSize+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, dir)
+	defer l2.Close()
+	if txns := collect(t, l2, 0); len(txns) != 1 || txns[0].ID != 1 {
+		t.Fatalf("after mid-corruption: %+v, want only txn 1", txns)
+	}
+}
+
+func TestTruncateRotatesAndDeletesCoveredGenerations(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	defer l.Close()
+	appendCommitT(t, l, 1, []Op{{Kind: OpPut, Tree: "t", Key: 1, Value: []byte("x")}})
+	ck := appendCommitT(t, l, 2, []Op{{Kind: OpPut, Tree: "t", Key: 2, Value: []byte("y")}})
+	if err := l.Truncate(ck); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Truncations != 1 || st.Generations != 1 || st.Generation != 2 {
+		t.Fatalf("after truncate: %+v", st)
+	}
+	if got := collect(t, l, ck); len(got) != 0 {
+		t.Fatalf("checkpoint-covered txns still replayable: %+v", got)
+	}
+	// The intern table reset: the same tree must re-bind in the new
+	// generation and replay correctly.
+	appendCommitT(t, l, 3, []Op{{Kind: OpPut, Tree: "t", Key: 3, Value: []byte("z")}})
+	got := collect(t, l, ck)
+	if len(got) != 1 || got[0].ID != 3 || got[0].Ops[0].Tree != "t" {
+		t.Fatalf("post-rotation replay: %+v", got)
+	}
+	gens, err := listGens(dir)
+	if err != nil || len(gens) != 1 {
+		t.Fatalf("generation files = %v (%v), want exactly the new one", gens, err)
+	}
+}
+
+func TestReopenAcrossTruncateKeepsTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	ck := appendCommitT(t, l, 1, []Op{{Kind: OpPut, Tree: "t", Key: 1, Value: []byte("old")}})
+	if err := l.Truncate(ck); err != nil {
+		t.Fatal(err)
+	}
+	appendCommitT(t, l, 2, []Op{{Kind: OpPut, Tree: "t", Key: 2, Value: []byte("new")}})
+	l.Close()
+
+	l2 := openT(t, dir)
+	defer l2.Close()
+	if l2.Seq() != 2 {
+		t.Fatalf("Seq = %d, want 2", l2.Seq())
+	}
+	if got := collect(t, l2, ck); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("Replay past checkpoint: %+v, want txn 2", got)
+	}
+}
+
+func TestVolatileMode(t *testing.T) {
+	l, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	s1 := appendCommitT(t, l, 1, []Op{{Kind: OpPut, Tree: "t", Key: 1, Value: []byte("v")}})
+	s2 := appendCommitT(t, l, 2, nil)
+	if s1 != 1 || s2 != 2 {
+		t.Fatalf("volatile seqs %d, %d", s1, s2)
+	}
+	if err := l.Truncate(s2); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l, 0); len(got) != 0 {
+		t.Fatalf("volatile replay returned %+v", got)
+	}
+	if st := l.Stats(); st.Commits != 2 || st.Durable != 2 {
+		t.Fatalf("volatile stats %+v", st)
+	}
+}
+
+func TestClosedLogFails(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(1, nil); err != ErrClosed {
+		t.Fatalf("Append after close = %v", err)
+	}
+	if err := l.Truncate(0); err != ErrClosed {
+		t.Fatalf("Truncate after close = %v", err)
+	}
+	if err := l.Close(); err != ErrClosed {
+		t.Fatalf("second Close = %v", err)
+	}
+}
+
+// TestGroupCommitCoalesces runs many concurrent committers (appends
+// serialized, as pagedb serializes them under its write lock) and checks
+// the group-commit property the whole design exists for: fewer fsync
+// rounds than commits, with every committed txn replayable.
+func TestGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New()
+	l, err := Open(Options{Dir: dir, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const workers, perWorker = 8, 25
+	var appendMu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				txnID := uint64(w*perWorker + i + 1)
+				appendMu.Lock()
+				seq, err := l.Append(txnID, []Op{{Kind: OpPut, Tree: "t", Key: txnID, Value: []byte("v")}})
+				appendMu.Unlock()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.Commit(seq); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := l.Stats()
+	total := uint64(workers * perWorker)
+	if st.Commits != total {
+		t.Fatalf("commits = %d, want %d", st.Commits, total)
+	}
+	if st.Rounds >= st.Commits {
+		t.Fatalf("group commit never coalesced: %d rounds for %d commits", st.Rounds, st.Commits)
+	}
+	if st.Durable != st.Seq || st.Seq != total {
+		t.Fatalf("durable=%d seq=%d, want both %d", st.Durable, st.Seq, total)
+	}
+	if got := collect(t, l, 0); len(got) != int(total) {
+		t.Fatalf("replayed %d txns, want %d", len(got), total)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["wal.commit.commits"] != total || snap.Counters["wal.commit.rounds"] != st.Rounds {
+		t.Fatalf("obs counters diverge from Stats: %v vs %+v", snap.Counters, st)
+	}
+	for _, h := range []string{"wal.append.ns", "wal.fsync.ns", "wal.commit.ns"} {
+		if snap.Histograms[h].Count == 0 {
+			t.Fatalf("histogram %s never recorded", h)
+		}
+	}
+}
+
+// TestConcurrentCommitAndTruncate races committers against periodic
+// checkpoint truncations — the flushMu handoff under test is "rotation
+// never closes a file an fsync round still holds".
+func TestConcurrentCommitAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	defer l.Close()
+
+	const total = 120
+	var mu sync.Mutex // serializes Append+Truncate like pagedb's write lock
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				txnID := uint64(w*(total/4) + i + 1)
+				mu.Lock()
+				seq, err := l.Append(txnID, []Op{{Kind: OpPut, Tree: "t", Key: txnID, Value: []byte("v")}})
+				if err == nil && txnID%16 == 0 {
+					// Checkpoint: under pagedb's lock the checkpoint covers
+					// every appended txn, then truncates.
+					if cerr := l.Commit(seq); cerr == nil {
+						err = l.Truncate(seq)
+					} else {
+						err = cerr
+					}
+				}
+				mu.Unlock()
+				if err == nil {
+					err = l.Commit(seq)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Seq != total || st.Durable != total {
+		t.Fatalf("seq=%d durable=%d, want %d", st.Seq, st.Durable, total)
+	}
+	if st.Truncations == 0 {
+		t.Fatal("no truncation ever ran")
+	}
+}
+
+func TestRotationCrashDropsHeaderlessSuccessor(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir)
+	ck := appendCommitT(t, l, 1, []Op{{Kind: OpPut, Tree: "t", Key: 1, Value: []byte("x")}})
+	if err := l.Truncate(ck); err != nil {
+		t.Fatal(err)
+	}
+	appendCommitT(t, l, 2, []Op{{Kind: OpPut, Tree: "t", Key: 2, Value: []byte("y")}})
+	l.Close()
+
+	// Simulate a rotation that crashed before the new file's header was
+	// durable: a successor file with a garbage header must be discarded,
+	// and the predecessor adopted as the tail.
+	if err := os.WriteFile(filepath.Join(dir, genPath("", 3)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, dir)
+	defer l2.Close()
+	if l2.Seq() != 2 {
+		t.Fatalf("Seq = %d, want 2", l2.Seq())
+	}
+	if got := collect(t, l2, ck); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("replay: %+v", got)
+	}
+	// The garbage file is gone and appends resume on the adopted tail.
+	if _, err := os.Stat(genPath(dir, 3)); !os.IsNotExist(err) {
+		t.Fatalf("orphan generation survived recovery: %v", err)
+	}
+	appendCommitT(t, l2, 3, []Op{{Kind: OpPut, Tree: "t", Key: 3, Value: []byte("z")}})
+}

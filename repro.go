@@ -260,6 +260,17 @@ type (
 	// in-memory TPC-C trace engine runs, instantiated over the durable
 	// node cache.
 	PageTree = pagedb.Tree
+	// PageTxn is one write transaction of a PageDB (db.Begin): operations
+	// addressed by tree name buffer privately, reads see the transaction's
+	// own writes over the committed state, and Commit makes them durable
+	// through the write-ahead log's group fsync — per-transaction
+	// durability at a fraction of an fsync per transaction, with dirty
+	// pages writing back lazily at the next checkpoint (db.Commit).
+	PageTxn = pagedb.Txn
+	// PageView is the consistent multi-read snapshot handle of
+	// PageDB.View: no transaction can apply between two reads inside one
+	// View callback.
+	PageView = pagedb.View
 )
 
 // OpenPageDB creates or recovers a durable B+-tree database on a
@@ -271,7 +282,11 @@ type (
 //	})
 //	users, _ := db.Tree("users")
 //	users.Put(42, profile)
-//	db.Commit() // one atomic, group-fsynced batch
+//	db.Commit() // one atomic, group-fsynced batch (checkpoint)
+//
+//	txn, _ := db.Begin()
+//	txn.Put("users", 43, profile)
+//	txn.Commit() // per-transaction durability via the WAL's group fsync
 func OpenPageDB(opts PageDBOptions) (*PageDB, error) { return pagedb.Open(opts) }
 
 // In-memory value-log KV store (variable-size records).

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -148,6 +149,29 @@ func TestFacadePageDB(t *testing.T) {
 	v, ok, err := users2.Get(7)
 	if err != nil || !ok || string(v) != "profile" {
 		t.Fatalf("Get after reopen: %q %v %v", v, ok, err)
+	}
+	// Per-transaction durability and the snapshot view through the facade.
+	txn, err := db2.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("users", 1000, []byte("txn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.View(func(v *PageView) error {
+		got, ok, err := v.Get("users", 1000)
+		if err != nil || !ok || string(got) != "txn" {
+			return fmt.Errorf("view read after txn commit: %q %v %v", got, ok, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := db2.Stats(); st.Txns != 1 || st.WAL.Commits != 1 {
+		t.Errorf("txn stats not surfaced: txns=%d wal=%+v", st.Txns, st.WAL)
 	}
 }
 
