@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs/httpx"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 	fill := flag.Float64("fill", 0, "tpcc only: target sealed-region fill factor (0 = default 0.6; routed placement is predicted to pay at 0.8+)")
 	workers := flag.Int("workers", 0, "tpcc only: run N concurrent workers with one WAL commit per transaction (0 = single-threaded batch mode)")
 	metricsOut := flag.String("metrics-out", "", "write a metrics report (run metadata + per-run registry snapshots) as JSON to this path, e.g. BENCH_tpcc.json; only the live-engine experiments (cleaner, routing, batching, tpcc) record runs")
+	metricsFull := flag.Bool("metrics-full", false, "record full registry snapshots (every series plus the event ring) instead of the compact form that drops zero-valued series")
+	serve := flag.String("serve", "", "serve live introspection over HTTP on this address (e.g. localhost:6060) while the experiments run: /metrics.json, /metrics/delta, /trace, /debug/pprof/")
 	verbose := flag.Bool("v", false, "log per-run progress to stderr")
 	flag.Parse()
 
@@ -62,7 +65,16 @@ func main() {
 		expName = "tpcc-concurrent"
 	}
 	if *metricsOut != "" {
+		experiments.SetFullSnapshots(*metricsFull)
 		experiments.BeginReport(expName, scale)
+	}
+	if *serve != "" {
+		srv, err := httpx.Serve(*serve, experiments.LiveRegistry)
+		if err != nil {
+			log.Fatalf("-serve %s: %v", *serve, err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "lsbench: introspection at http://%s/ (metrics.json, metrics/delta, trace, debug/pprof)\n", srv.Addr())
 	}
 
 	start := time.Now()

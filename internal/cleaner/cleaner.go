@@ -541,81 +541,99 @@ func (c *Cleaner) reclaim() {
 			return
 		default:
 		}
-
-		c.setState(StateSelecting)
-		t0 := time.Now()
-		victims := c.t.SelectVictims(c.opts.Batch)
-		c.hSelect.Record(uint64(time.Since(t0)))
-		if len(victims) == 0 {
-			// Nothing sealed to clean while the pool is low: every
-			// remaining segment is open, already being cleaned, or free.
-			c.concludeNoProgress()
-			break
-		}
-
-		c.setState(StateRelocating)
-		t0 = time.Now()
-		records, moved, err := c.t.Relocate(victims)
-		c.hRelocate.Record(uint64(time.Since(t0)))
-		if err != nil {
-			c.t.Abort(victims)
-			c.mu.Lock()
-			c.stats.Errors++
-			c.stats.LastError = err.Error()
-			c.mu.Unlock()
-			// Transient errors (e.g. the GC stream lost a race for the
-			// last free segment) are retried on the next wakeup; repeated
-			// failure without an intervening success means space is
-			// exhausted. The counter persists across wakeups.
-			if c.errRun++; c.errRun >= 3 {
-				c.concludeNoProgress()
-			}
-			break
-		}
-		c.errRun = 0
-
-		c.setState(StateReleasing)
-		t0 = time.Now()
-		released := c.t.Release(victims)
-		c.hRelease.Record(uint64(time.Since(t0)))
-		net := released - moved
-
-		c.mu.Lock()
-		c.stats.Cycles++
-		c.stats.SegmentsReclaimed += uint64(len(victims))
-		c.stats.RecordsRelocated += uint64(records)
-		c.stats.BytesRelocated += uint64(moved)
-		if net > 0 {
-			c.stats.BytesReclaimed += uint64(net)
-		}
-		c.mu.Unlock()
-		c.broadcast() // space became available: wake blocked writers
-
-		// Cycles that only shuffle fully-live segments reclaim nothing:
-		// live data has (nearly) reached physical capacity. Cycles with
-		// small positive net are NOT exhaustion — under sustained writer
-		// pressure thin garbage is normal and the loop simply keeps
-		// working (StallTimeout backstops the pathological case where
-		// per-segment slack alone keeps net barely positive forever).
-		if net <= 0 {
-			if dry++; dry >= 2 {
-				c.concludeNoProgress()
-				break
-			}
-		} else {
-			dry = 0
-			c.setFull(false)
-		}
-		// Diminishing returns: below the low watermark the cleaner pushes
-		// no matter the cost, but the extra headroom up to the high
-		// watermark is only worth building while it is cheap. Stopping
-		// when a whole batch nets less than one segment keeps a store
-		// whose live data sits near its watermarks (an unreachable high)
-		// from cleaning in a permanent low-yield churn.
-		if c.t.FreeSegments() >= c.opts.LowWater && net < released/int64(len(victims)) {
+		if !c.cycleOnce(&dry) {
 			break
 		}
 	}
 	c.setState(StateIdle)
 	c.broadcast()
+}
+
+// cycleOnce runs one Select → Relocate → Release cycle and reports whether
+// the reclaim loop should keep going. The whole cycle is bracketed by a
+// "cleaner.cycle" span with one child per phase, so a cycle that crosses
+// the slow-op threshold (a large relocation, a stalled release) lands in
+// the slow-op ring with the phase breakdown — the span ends on every exit
+// path, success or not.
+func (c *Cleaner) cycleOnce(dry *int) bool {
+	sp := obs.StartSpan(c.obs, "cleaner.cycle")
+	defer sp.End()
+
+	c.setState(StateSelecting)
+	leg := sp.Child("select")
+	t0 := time.Now()
+	victims := c.t.SelectVictims(c.opts.Batch)
+	c.hSelect.Record(uint64(time.Since(t0)))
+	leg.End()
+	if len(victims) == 0 {
+		// Nothing sealed to clean while the pool is low: every
+		// remaining segment is open, already being cleaned, or free.
+		c.concludeNoProgress()
+		return false
+	}
+
+	c.setState(StateRelocating)
+	leg = sp.Child("relocate")
+	t0 = time.Now()
+	records, moved, err := c.t.Relocate(victims)
+	c.hRelocate.Record(uint64(time.Since(t0)))
+	leg.End()
+	if err != nil {
+		c.t.Abort(victims)
+		c.mu.Lock()
+		c.stats.Errors++
+		c.stats.LastError = err.Error()
+		c.mu.Unlock()
+		// Transient errors (e.g. the GC stream lost a race for the
+		// last free segment) are retried on the next wakeup; repeated
+		// failure without an intervening success means space is
+		// exhausted. The counter persists across wakeups.
+		if c.errRun++; c.errRun >= 3 {
+			c.concludeNoProgress()
+		}
+		return false
+	}
+	c.errRun = 0
+
+	c.setState(StateReleasing)
+	leg = sp.Child("release")
+	t0 = time.Now()
+	released := c.t.Release(victims)
+	c.hRelease.Record(uint64(time.Since(t0)))
+	leg.End()
+	net := released - moved
+
+	c.mu.Lock()
+	c.stats.Cycles++
+	c.stats.SegmentsReclaimed += uint64(len(victims))
+	c.stats.RecordsRelocated += uint64(records)
+	c.stats.BytesRelocated += uint64(moved)
+	if net > 0 {
+		c.stats.BytesReclaimed += uint64(net)
+	}
+	c.mu.Unlock()
+	c.broadcast() // space became available: wake blocked writers
+
+	// Cycles that only shuffle fully-live segments reclaim nothing:
+	// live data has (nearly) reached physical capacity. Cycles with
+	// small positive net are NOT exhaustion — under sustained writer
+	// pressure thin garbage is normal and the loop simply keeps
+	// working (StallTimeout backstops the pathological case where
+	// per-segment slack alone keeps net barely positive forever).
+	if net <= 0 {
+		if (*dry)++; *dry >= 2 {
+			c.concludeNoProgress()
+			return false
+		}
+	} else {
+		*dry = 0
+		c.setFull(false)
+	}
+	// Diminishing returns: below the low watermark the cleaner pushes
+	// no matter the cost, but the extra headroom up to the high
+	// watermark is only worth building while it is cheap. Stopping
+	// when a whole batch nets less than one segment keeps a store
+	// whose live data sits near its watermarks (an unreachable high)
+	// from cleaning in a permanent low-yield churn.
+	return c.t.FreeSegments() < c.opts.LowWater || net >= released/int64(len(victims))
 }

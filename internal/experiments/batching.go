@@ -79,6 +79,7 @@ func storeBatchingRun(segPages, maxSegs, writers, ops, batch int) []string {
 		panic(fmt.Sprintf("experiments: batching store open: %v", err))
 	}
 	defer s.Close()
+	publishLive(s.Obs())
 
 	// Preload to fill 0.5 with large batches (cheap even at DurCommit).
 	live := maxSegs * segPages / 2
@@ -171,6 +172,7 @@ func vlogBatchingRun(maxSegs, writers, ops, batch int) []string {
 		panic(fmt.Sprintf("experiments: batching vlog open: %v", err))
 	}
 	defer s.Close()
+	publishLive(s.Obs())
 	keys := maxSegs * opts.SegmentBytes / 2 / 128
 	val := make([]byte, 100)
 	key := func(k int) string { return fmt.Sprintf("key-%08d", k) }

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Cross-commit performance gating.
+//
+// CompareReports diffs two trajectory reports (an older committed baseline
+// and a fresh run) and returns the regressions, one line each. CI runs it
+// through `benchcheck -compare`, so a change that silently doubles write
+// amplification, breaks group-commit coalescing, or empties an
+// instrumentation series fails the build.
+//
+// The gates are split by what survives a machine change:
+//
+//   - Ratio series — write amplification, fsync rounds per committed
+//     transaction, mean victim emptiness — measure the ALGORITHM, not the
+//     hardware, so they are compared whenever both reports carry them.
+//   - Wall-clock series — latency quantiles, throughput — only compare
+//     meaningfully between runs on the same machine, so they are gated
+//     only when CompareOptions.Latency is set (CI sets it for
+//     same-build identity smokes; unit tests pin the 2x-regression
+//     detection).
+//
+// Tolerances are deliberately loose: the point is catching step changes
+// (a 2x latency shift, a broken coalescer), not noise. The histogram
+// layout quantizes to power-of-two buckets, so a true 2x latency shift
+// moves every quantile one whole bucket (a measured ratio of ~2); the
+// latency tolerance of 1.75 sits safely below that while staying above
+// same-build jitter.
+
+// Comparison tolerances. Exported so the CLI help and the tests state the
+// contract once.
+const (
+	// TolWriteAmpRatio bounds new/old write amplification.
+	TolWriteAmpRatio = 1.5
+	// TolWriteAmpAbs is absolute slack under the write-amp gate, so a
+	// baseline of 1.02 does not flag at 1.55 on a short, noisy run.
+	TolWriteAmpAbs = 0.3
+	// TolRoundsPerCommitRatio bounds the growth of fsync rounds per
+	// committed transaction — the group-commit coalescing gate.
+	TolRoundsPerCommitRatio = 1.75
+	// TolMeanEDrop is the largest tolerated absolute drop in mean victim
+	// emptiness at clean (higher E = better victim selection).
+	TolMeanEDrop = 0.15
+	// TolLatencyRatio bounds new/old latency quantiles (Latency gates
+	// only): below the one-bucket step a true 2x shift produces, above
+	// same-build jitter.
+	TolLatencyRatio = 1.75
+	// MinLatencyNanos is the quantile floor below which latency series are
+	// not gated — sub-microsecond buckets flip on cache luck alone.
+	MinLatencyNanos = 1000
+)
+
+// latencyGated are the wall-clock histogram series worth gating; each is
+// checked at p50 and p99 when present and non-empty in both reports.
+var latencyGated = []string{
+	"store.write.ns", "store.commit.ns",
+	"pagedb.commit.ns",
+	"wal.append.ns", "wal.commit.ns", "wal.fsync.ns",
+	"tpcc.tx.NewOrder.ns", "tpcc.tx.Payment.ns",
+}
+
+// CompareOptions configures CompareReports.
+type CompareOptions struct {
+	// Latency also gates wall-clock series (latency quantiles and
+	// throughput). Only meaningful when both reports ran on the same
+	// machine.
+	Latency bool
+}
+
+// CompareReports compares new against the old baseline and returns one
+// line per regression (empty means the gate passes). It errors — rather
+// than reporting regressions — when the reports are not comparable at
+// all: different experiment or scale, or no runs to match.
+func CompareReports(old, new *Report, opts CompareOptions) ([]string, error) {
+	if old == nil || new == nil {
+		return nil, fmt.Errorf("compare: nil report")
+	}
+	if old.Experiment != new.Experiment || old.Scale != new.Scale {
+		return nil, fmt.Errorf("compare: reports not comparable: %s/%s vs %s/%s",
+			old.Experiment, old.Scale, new.Experiment, new.Scale)
+	}
+	if len(old.Runs) == 0 {
+		return nil, fmt.Errorf("compare: baseline has no runs")
+	}
+	newRuns := make(map[string]*AlgReport, len(new.Runs))
+	for i := range new.Runs {
+		newRuns[runKey(&new.Runs[i])] = &new.Runs[i]
+	}
+	var regs []string
+	for i := range old.Runs {
+		o := &old.Runs[i]
+		key := runKey(o)
+		n, ok := newRuns[key]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("%s: run missing from new report", key))
+			continue
+		}
+		regs = append(regs, compareRun(key, o, n, opts)...)
+	}
+	sort.Strings(regs)
+	return regs, nil
+}
+
+func runKey(r *AlgReport) string { return r.Engine + "/" + r.Algorithm }
+
+func compareRun(key string, o, n *AlgReport, opts CompareOptions) []string {
+	var regs []string
+	bad := func(format string, args ...any) {
+		regs = append(regs, key+": "+fmt.Sprintf(format, args...))
+	}
+
+	// Machine-independent ratio gates.
+	if limit := o.WriteAmp*TolWriteAmpRatio + TolWriteAmpAbs; o.WriteAmp > 0 && n.WriteAmp > limit {
+		bad("write amplification %.3f exceeds baseline %.3f (limit %.3f)", n.WriteAmp, o.WriteAmp, limit)
+	}
+	if o.MeanEAtClean > 0 && n.MeanEAtClean < o.MeanEAtClean-TolMeanEDrop {
+		bad("mean victim emptiness %.3f dropped from baseline %.3f (tolerance %.2f)",
+			n.MeanEAtClean, o.MeanEAtClean, TolMeanEDrop)
+	}
+	if or, ok := roundsPerCommit(o.Metrics); ok {
+		if nr, ok := roundsPerCommit(n.Metrics); ok && nr > or*TolRoundsPerCommitRatio {
+			bad("fsync rounds/commit %.3f exceeds baseline %.3f (ratio limit %.2f): group-commit coalescing regressed",
+				nr, or, TolRoundsPerCommitRatio)
+		} else if !ok {
+			bad("wal group-commit counters vanished (baseline had %.3f rounds/commit)", or)
+		}
+	}
+
+	// Instrumentation-loss gate: a series that recorded samples in the
+	// baseline must still record in the new run, whatever snapshot form
+	// (compact drops only EMPTY series, so absence here is a real loss).
+	if o.Metrics != nil && n.Metrics != nil {
+		names := make([]string, 0, len(o.Metrics.Histograms))
+		for name := range o.Metrics.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if o.Metrics.Histograms[name].Count > 0 && n.Metrics.Histograms[name].Count == 0 {
+				bad("histogram %q recorded %d samples in the baseline, nothing now",
+					name, o.Metrics.Histograms[name].Count)
+			}
+		}
+	}
+
+	if !opts.Latency {
+		return regs
+	}
+	// Wall-clock gates (same-machine comparisons only).
+	if o.ThroughputOps > 0 && n.ThroughputOps < o.ThroughputOps/TolLatencyRatio {
+		bad("throughput %.0f ops/s dropped from baseline %.0f (ratio limit %.2f)",
+			n.ThroughputOps, o.ThroughputOps, TolLatencyRatio)
+	}
+	if o.Metrics == nil || n.Metrics == nil {
+		return regs
+	}
+	for _, name := range latencyGated {
+		oh, nh := o.Metrics.Histograms[name], n.Metrics.Histograms[name]
+		if oh.Count == 0 || nh.Count == 0 {
+			continue // absence is the instrumentation gate's business
+		}
+		for _, q := range []struct {
+			label    string
+			old, new float64
+		}{{"p50", oh.P50, nh.P50}, {"p99", oh.P99, nh.P99}} {
+			if q.old < MinLatencyNanos {
+				continue
+			}
+			if q.new > q.old*TolLatencyRatio {
+				bad("%s %s %.0fns exceeds baseline %.0fns (ratio limit %.2f)",
+					name, q.label, q.new, q.old, TolLatencyRatio)
+			}
+		}
+	}
+	return regs
+}
+
+// roundsPerCommit extracts the group-commit coalescing ratio from a
+// snapshot, preferring the WAL counters (per-transaction durability) and
+// falling back to the store's (batch durability). ok is false when the
+// run had no commit waits at all.
+func roundsPerCommit(s *obs.Snapshot) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, pair := range [][2]string{
+		{"wal.commit.rounds", "wal.commit.commits"},
+		{"store.commit.rounds", "store.commit.commits"},
+	} {
+		rounds, commits := s.Counters[pair[0]], s.Counters[pair[1]]
+		if commits > 0 {
+			return float64(rounds) / float64(commits), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// synthParams shape one synthetic run for the comparison tests. The
+// defaults model a healthy small tpcc-concurrent run; tests perturb one
+// knob at a time.
+type synthParams struct {
+	latNanos     uint64 // every latency sample in every gated histogram
+	writeAmp     float64
+	meanE        float64
+	throughput   float64
+	rounds       uint64 // fsync rounds over 100 commits
+	dropNewOrder bool   // omit the tpcc.tx.NewOrder.ns series entirely
+}
+
+func defaultSynth() synthParams {
+	return synthParams{
+		latNanos:   100_000, // 100µs — comfortably above MinLatencyNanos
+		writeAmp:   1.2,
+		meanE:      0.8,
+		throughput: 5000,
+		rounds:     40,
+	}
+}
+
+// synthReport builds a report the way lsbench does — through a real
+// registry and a compact snapshot — so the comparison path is exercised
+// against the committed-baseline form, bucket quantization included.
+func synthReport(p synthParams) *Report {
+	reg := obs.New()
+	series := []string{"store.commit.ns", "pagedb.commit.ns", "wal.commit.ns", "tpcc.tx.NewOrder.ns"}
+	for _, name := range series {
+		if p.dropNewOrder && name == "tpcc.tx.NewOrder.ns" {
+			continue
+		}
+		h := reg.Histogram(name)
+		for i := 0; i < 100; i++ {
+			h.Record(p.latNanos)
+		}
+	}
+	reg.Counter("wal.commit.commits").Add(100)
+	reg.Counter("wal.commit.rounds").Add(p.rounds)
+	snap := reg.Snapshot().Compacted()
+	return &Report{
+		Experiment: "tpcc-concurrent",
+		Scale:      "small",
+		Runs: []AlgReport{{
+			Engine:        "pagedb",
+			Algorithm:     "mdc",
+			WriteAmp:      p.writeAmp,
+			MeanEAtClean:  p.meanE,
+			ThroughputOps: p.throughput,
+			Metrics:       &snap,
+		}},
+	}
+}
+
+func mustCompare(t *testing.T, old, new *Report, opts CompareOptions) []string {
+	t.Helper()
+	regs, err := CompareReports(old, new, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return regs
+}
+
+func wantRegression(t *testing.T, regs []string, substr string) {
+	t.Helper()
+	for _, r := range regs {
+		if strings.Contains(r, substr) {
+			return
+		}
+	}
+	t.Fatalf("no regression mentioning %q in %q", substr, regs)
+}
+
+// TestCompareIdenticalPasses is half of the acceptance contract: a report
+// compared against an identically-built one raises nothing, even with the
+// wall-clock gates armed.
+func TestCompareIdenticalPasses(t *testing.T) {
+	regs := mustCompare(t, synthReport(defaultSynth()), synthReport(defaultSynth()),
+		CompareOptions{Latency: true})
+	if len(regs) != 0 {
+		t.Fatalf("identical reports flagged: %q", regs)
+	}
+}
+
+// TestCompareFlagsDoubledLatency is the other half: a true 2x latency
+// shift — every sample doubled, which moves every quantile one
+// power-of-two bucket — must be flagged on every gated series.
+func TestCompareFlagsDoubledLatency(t *testing.T) {
+	slow := defaultSynth()
+	slow.latNanos *= 2
+	regs := mustCompare(t, synthReport(defaultSynth()), synthReport(slow),
+		CompareOptions{Latency: true})
+	if len(regs) == 0 {
+		t.Fatal("2x latency regression not flagged")
+	}
+	wantRegression(t, regs, "tpcc.tx.NewOrder.ns p50")
+	wantRegression(t, regs, "tpcc.tx.NewOrder.ns p99")
+	wantRegression(t, regs, "wal.commit.ns p50")
+}
+
+// TestCompareLatencyGateOptIn: without the Latency option the same 2x
+// shift passes — wall-clock numbers from a different machine are not
+// regressions.
+func TestCompareLatencyGateOptIn(t *testing.T) {
+	slow := defaultSynth()
+	slow.latNanos *= 2
+	slow.throughput /= 3
+	if regs := mustCompare(t, synthReport(defaultSynth()), synthReport(slow),
+		CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("wall-clock deltas flagged without the Latency gate: %q", regs)
+	}
+}
+
+// TestCompareFlagsWriteAmp: the write-amplification gate is
+// machine-independent, so it fires with no options at all.
+func TestCompareFlagsWriteAmp(t *testing.T) {
+	bad := defaultSynth()
+	bad.writeAmp = defaultSynth().writeAmp*TolWriteAmpRatio + TolWriteAmpAbs + 0.1
+	regs := mustCompare(t, synthReport(defaultSynth()), synthReport(bad), CompareOptions{})
+	wantRegression(t, regs, "write amplification")
+}
+
+// TestCompareFlagsCoalescingLoss: fsync rounds per commit growing past the
+// ratio limit means group commit stopped coalescing.
+func TestCompareFlagsCoalescingLoss(t *testing.T) {
+	bad := defaultSynth()
+	bad.rounds = 90 // 0.9 rounds/commit vs baseline 0.4 — ratio 2.25
+	regs := mustCompare(t, synthReport(defaultSynth()), synthReport(bad), CompareOptions{})
+	wantRegression(t, regs, "fsync rounds/commit")
+}
+
+// TestCompareFlagsEmptinessDrop: mean victim emptiness falling more than
+// the absolute tolerance means victim selection got worse.
+func TestCompareFlagsEmptinessDrop(t *testing.T) {
+	bad := defaultSynth()
+	bad.meanE = defaultSynth().meanE - TolMeanEDrop - 0.05
+	regs := mustCompare(t, synthReport(defaultSynth()), synthReport(bad), CompareOptions{})
+	wantRegression(t, regs, "mean victim emptiness")
+}
+
+// TestCompareFlagsLostSeries: a histogram that recorded samples in the
+// baseline but is absent from the new (compact) snapshot is an
+// instrumentation loss — compact absence means zero, and zero samples
+// where there were 100 is a regression, no Latency option needed.
+func TestCompareFlagsLostSeries(t *testing.T) {
+	bad := defaultSynth()
+	bad.dropNewOrder = true
+	regs := mustCompare(t, synthReport(defaultSynth()), synthReport(bad), CompareOptions{})
+	wantRegression(t, regs, `"tpcc.tx.NewOrder.ns"`)
+}
+
+// TestCompareFlagsMissingRun: a run present in the baseline must still
+// exist in the new report.
+func TestCompareFlagsMissingRun(t *testing.T) {
+	bad := synthReport(defaultSynth())
+	bad.Runs[0].Algorithm = "mdc-routed"
+	regs := mustCompare(t, synthReport(defaultSynth()), bad, CompareOptions{})
+	wantRegression(t, regs, "run missing")
+}
+
+// TestCompareMismatchedReportsError: different experiment or scale is a
+// usage error, not a regression list.
+func TestCompareMismatchedReportsError(t *testing.T) {
+	other := synthReport(defaultSynth())
+	other.Experiment = "batching"
+	if _, err := CompareReports(synthReport(defaultSynth()), other, CompareOptions{}); err == nil {
+		t.Fatal("mismatched experiments compared without error")
+	}
+	scaled := synthReport(defaultSynth())
+	scaled.Scale = "medium"
+	if _, err := CompareReports(synthReport(defaultSynth()), scaled, CompareOptions{}); err == nil {
+		t.Fatal("mismatched scales compared without error")
+	}
+}

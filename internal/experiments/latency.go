@@ -66,6 +66,7 @@ func cleanerLatencyRun(segPages, maxSegs, writers, opsPerWriter int, background 
 		panic(fmt.Sprintf("experiments: cleaner-latency: %v", err))
 	}
 	defer s.Close()
+	publishLive(s.Obs())
 
 	livePages := maxSegs * segPages * 8 / 10 // fill factor 0.8
 	buf := make([]byte, opts.PageSize)

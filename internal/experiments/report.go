@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -92,11 +93,45 @@ func TakeReport() *Report {
 	return r
 }
 
+// fullSnapshots switches AlgReport.Metrics back to the full snapshot form.
+// The default is compact: zero-valued and empty series dropped and the
+// event ring omitted, which shrinks a committed BENCH_*.json by an order
+// of magnitude while losing nothing a reader could not infer (absence
+// means zero; the snapshot is marked Compact so validators know).
+var fullSnapshots atomic.Bool
+
+// SetFullSnapshots makes recorded runs keep the full registry snapshot
+// (every series, the event ring included) instead of the compact form.
+// lsbench exposes it as -metrics-full.
+func SetFullSnapshots(full bool) { fullSnapshots.Store(full) }
+
 // snapshotOf captures a registry snapshot on the heap for an AlgReport.
 func snapshotOf(r *obs.Registry) *obs.Snapshot {
 	s := r.Snapshot()
+	if !fullSnapshots.Load() {
+		s = s.Compacted()
+	}
 	return &s
 }
+
+// liveReg is the most recently opened engine registry. The experiment
+// drivers build a fresh registry per run, so the -serve introspection
+// server reads through this pointer instead of holding any one registry.
+var liveReg atomic.Pointer[obs.Registry]
+
+// publishLive makes r the process's live registry, the one LiveRegistry
+// (and therefore a running -serve server) reports. Each live-engine run
+// publishes its registry right after opening the engine.
+func publishLive(r *obs.Registry) {
+	if r != nil {
+		liveReg.Store(r)
+	}
+}
+
+// LiveRegistry returns the most recently published engine registry — nil
+// before the first live-engine run opens one. It is the Source lsbench
+// hands to httpx.Serve: scrapes follow the current run automatically.
+func LiveRegistry() *obs.Registry { return liveReg.Load() }
 
 // recordRun appends a run to the active report; a no-op when collection is
 // disarmed, so the experiment drivers call it unconditionally.

@@ -70,6 +70,7 @@ func storeRoutingRun(segPages, maxSegs, ops int, alg core.Algorithm) []string {
 		panic(fmt.Sprintf("experiments: stream-routing store open: %v", err))
 	}
 	defer s.Close()
+	publishLive(s.Obs())
 	live := maxSegs * segPages * 3 / 5 // fill factor 0.6
 	buf := make([]byte, opts.PageSize)
 	for id := uint32(0); id < uint32(live); id++ {
@@ -113,6 +114,7 @@ func vlogRoutingRun(maxSegs, ops int, alg core.Algorithm) []string {
 		panic(fmt.Sprintf("experiments: stream-routing vlog open: %v", err))
 	}
 	defer s.Close()
+	publishLive(s.Obs())
 	// ~128-byte records at fill factor 0.6.
 	keys := maxSegs * opts.SegmentBytes * 3 / 5 / 128
 	val := make([]byte, 100)

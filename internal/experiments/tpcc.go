@@ -187,6 +187,7 @@ func tpccDurableRun(cfg tpcc.Config, txs int, fill float64, workers int, alg cor
 	// snapshot covers the whole stack: tpcc.tx.* latency alongside the
 	// pagedb.*, store.*, cleaner.* and bufferpool.* series.
 	cfg.Obs = db.Obs()
+	publishLive(db.Obs())
 	var be tpcc.Backend = tpcc.NewBackend(db.Tree, db.Commit)
 	if workers > 0 {
 		be = tpcc.NewTxnBackend(db.Tree, db.Commit, db.Begin)

@@ -49,3 +49,50 @@ func BenchmarkObsOverhead(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkSpanOverhead pins the hot-path cost of span tracing in both
+// modes. Disabled (nil registry → nil span) must stay at a few ns per
+// whole tree — the engines thread spans through every commit
+// unconditionally, and the nil path is what non-traced deployments pay.
+// Enabled-fast is a pooled tree that is built, timed, and recycled
+// without being retained (the common case: op under the slow threshold).
+func BenchmarkSpanOverhead(b *testing.B) {
+	b.Run("disabled-tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := StartSpan(nil, "commit")
+			sp.Child("append").End()
+			sp.Child("fsync").End()
+			sp.End()
+		}
+	})
+	b.Run("enabled-fast-tree", func(b *testing.B) {
+		r := New()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := StartSpan(r, "commit")
+			sp.Child("append").End()
+			sp.Child("fsync").End()
+			sp.End()
+		}
+	})
+	b.Run("enabled-root-only", func(b *testing.B) {
+		r := New()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			StartSpan(r, "commit").End()
+		}
+	})
+	b.Run("enabled-captured", func(b *testing.B) {
+		// Worst case: every op is over threshold and is serialized into
+		// the ring. Bounded by ring capacity, not b.N.
+		r := New()
+		r.SetSlowOpThreshold(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := StartSpan(r, "commit")
+			sp.Child("fsync").End()
+			sp.End()
+		}
+	})
+}

@@ -1,0 +1,206 @@
+// Package httpx is the live introspection server over an obs.Registry:
+// the running engine's counters, latency histograms, windowed rates, the
+// event-trace ring, and the captured slow-operation span trees, served as
+// JSON beside the standard pprof profile endpoints. lsbench wires it up
+// with -serve so a long benchmark (or a misbehaving one) can be inspected
+// mid-run with nothing but curl:
+//
+//	GET /metrics.json          full registry snapshot
+//	GET /metrics/delta?window=1s  per-series rates over a sampling window
+//	GET /trace                 event ring + slow-op span trees
+//	GET /debug/pprof/          the net/http/pprof index (profile, heap, ...)
+//
+// The handlers read through a Source callback rather than holding a
+// *Registry, because the experiment drivers build a fresh registry per
+// engine run — the server always reports whichever registry is live right
+// now, and serves empty (valid) documents when none is.
+package httpx
+
+import (
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Source yields the registry to serve. It is called per request and may
+// return nil (before the first engine run opens one), which serves empty
+// snapshots rather than errors — a scrape loop should not fail just
+// because the interesting part has not started yet.
+type Source func() *obs.Registry
+
+// NewMux builds the introspection mux over src.
+func NewMux(src Source) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		writeDoc(w, src().Snapshot())
+	})
+	mux.HandleFunc("/metrics/delta", func(w http.ResponseWriter, r *http.Request) {
+		handleDelta(w, r, src)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		reg := src()
+		doc := TraceDoc{Events: reg.Trace().Events(), EventsTotal: reg.Trace().Total()}
+		doc.SlowOps, doc.SlowOpsTotal = reg.SlowOps()
+		writeDoc(w, doc)
+	})
+	// pprof is registered explicitly (not via the package's DefaultServeMux
+	// side effect) so this mux is self-contained and the default mux stays
+	// untouched. The index route also serves the named profiles (heap,
+	// goroutine, block, mutex).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// TraceDoc is the /trace response: the retained event ring and the
+// retained slow-operation span trees, each with its all-time total so a
+// scraper can tell "quiet" from "wrapped around since last look".
+type TraceDoc struct {
+	Events       []obs.Event      `json:"events"`
+	EventsTotal  uint64           `json:"events_total"`
+	SlowOps      []obs.SpanRecord `json:"slow_ops"`
+	SlowOpsTotal uint64           `json:"slow_ops_total"`
+}
+
+// Rate is one counter's movement over a delta window.
+type Rate struct {
+	Delta  uint64  `json:"delta"`
+	PerSec float64 `json:"per_sec"`
+}
+
+// HistRate is one histogram's movement over a delta window: how many
+// observations landed and their interpolated mean — the windowed latency,
+// as opposed to the snapshot's since-start mean.
+type HistRate struct {
+	CountDelta uint64  `json:"count_delta"`
+	PerSec     float64 `json:"per_sec"`
+	MeanWindow float64 `json:"mean_window"`
+}
+
+// Delta is the /metrics/delta response. Counters and histograms report
+// movement over the window; gauges are instantaneous, so they report the
+// window-end value.
+type Delta struct {
+	WindowNanos int64               `json:"window_ns"`
+	Counters    map[string]Rate     `json:"counters"`
+	Gauges      map[string]int64    `json:"gauges"`
+	Histograms  map[string]HistRate `json:"histograms"`
+}
+
+// handleDelta samples the registry twice, ?window apart (default 1s,
+// clamped to [10ms, 30s]), and reports per-series rates. The request
+// blocks for the window — that IS the sampling interval, chosen by the
+// caller per request instead of by server-side state.
+func handleDelta(w http.ResponseWriter, r *http.Request, src Source) {
+	window := time.Second
+	if arg := r.URL.Query().Get("window"); arg != "" {
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		window = d
+	}
+	window = min(max(window, 10*time.Millisecond), 30*time.Second)
+
+	reg := src() // one registry for both samples, even if the live one swaps
+	before := reg.Snapshot()
+	t0 := time.Now()
+	select {
+	case <-time.After(window):
+	case <-r.Context().Done():
+		return
+	}
+	after := reg.Snapshot()
+	elapsed := time.Since(t0)
+	secs := elapsed.Seconds()
+
+	doc := Delta{
+		WindowNanos: int64(elapsed),
+		Counters:    make(map[string]Rate, len(after.Counters)),
+		Gauges:      after.Gauges,
+		Histograms:  make(map[string]HistRate, len(after.Histograms)),
+	}
+	for name, now := range after.Counters {
+		d := now - before.Counters[name] // a new series deltas from zero
+		doc.Counters[name] = Rate{Delta: d, PerSec: float64(d) / secs}
+	}
+	for name, now := range after.Histograms {
+		hr := histRate(before.Histograms[name], now, secs)
+		if hr.CountDelta > 0 {
+			doc.Histograms[name] = hr
+		}
+	}
+	writeDoc(w, doc)
+}
+
+// histRate diffs two histogram snapshots bucket-wise. The buckets are
+// identified by their upper bound (LE), which maps back to the fixed
+// power-of-two layout, so the windowed mean interpolates exactly like the
+// snapshot's own.
+func histRate(before, after obs.HistogramSnapshot, secs float64) HistRate {
+	prev := make(map[uint64]uint64, len(before.Buckets))
+	for _, b := range before.Buckets {
+		prev[b.LE] = b.Count
+	}
+	var count uint64
+	var sum float64
+	for _, b := range after.Buckets {
+		d := b.Count - prev[b.LE]
+		if d == 0 {
+			continue
+		}
+		count += d
+		i := obs.BucketIndex(b.LE)
+		lo, hi := obs.BucketBounds(i)
+		mid := float64(lo) // zero and overflow buckets contribute their floor
+		if i > 0 && hi != math.MaxUint64 {
+			mid = (float64(lo) + float64(hi)) / 2
+		}
+		sum += mid * float64(d)
+	}
+	hr := HistRate{CountDelta: count, PerSec: float64(count) / secs}
+	if count > 0 {
+		hr.MeanWindow = sum / float64(count)
+	}
+	return hr
+}
+
+func writeDoc(w http.ResponseWriter, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // a broken client connection is its own problem
+}
+
+// Server is a running introspection server (Serve).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "localhost:6060" or ":0" for an ephemeral port)
+// and serves the introspection mux in a background goroutine until Close.
+func Serve(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(src)}}
+	go s.srv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed is the only exit
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

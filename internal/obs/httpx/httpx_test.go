@@ -1,0 +1,209 @@
+package httpx
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string, doc any) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q", path, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(doc); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := obs.New()
+	r.Counter("store.user_writes").Add(42)
+	r.Gauge("store.free_segments").Set(7)
+	r.Histogram("store.write.ns").Record(1500)
+	srv := httptest.NewServer(NewMux(func() *obs.Registry { return r }))
+	defer srv.Close()
+
+	var s obs.Snapshot
+	get(t, srv, "/metrics.json", &s)
+	if s.Counters["store.user_writes"] != 42 || s.Gauges["store.free_segments"] != 7 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Histograms["store.write.ns"].Count != 1 {
+		t.Fatalf("histogram missing: %+v", s.Histograms)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	r := obs.New()
+	r.SetSlowOpThreshold(0)
+	r.Trace().Emit(obs.EvWatermark, 9)
+	sp := obs.StartSpan(r, "txn.commit")
+	sp.Child("wal.commit").End()
+	sp.End()
+	srv := httptest.NewServer(NewMux(func() *obs.Registry { return r }))
+	defer srv.Close()
+
+	var doc TraceDoc
+	get(t, srv, "/trace", &doc)
+	if doc.EventsTotal != 1 || len(doc.Events) != 1 || doc.Events[0].Kind != "watermark" {
+		t.Fatalf("events = %+v (total %d)", doc.Events, doc.EventsTotal)
+	}
+	if doc.SlowOpsTotal != 1 || len(doc.SlowOps) != 1 {
+		t.Fatalf("slow ops = %+v (total %d)", doc.SlowOps, doc.SlowOpsTotal)
+	}
+	op := doc.SlowOps[0]
+	if op.Name != "txn.commit" || len(op.Children) != 1 || op.Children[0].Name != "wal.commit" {
+		t.Fatalf("slow op tree = %+v", op)
+	}
+}
+
+func TestDeltaEndpoint(t *testing.T) {
+	r := obs.New()
+	r.Counter("ops").Add(10)
+	r.Histogram("lat").Record(100)
+	srv := httptest.NewServer(NewMux(func() *obs.Registry { return r }))
+	defer srv.Close()
+
+	// Feed the registry while the delta window is open so the second
+	// sample differs from the first.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				r.Counter("ops").Add(5)
+				r.Histogram("lat").Record(1 << 20) // ~1ms bucket
+			}
+		}
+	}()
+
+	var d Delta
+	get(t, srv, "/metrics/delta?window=100ms", &d)
+	if d.WindowNanos < int64(100*time.Millisecond) {
+		t.Fatalf("window %dns shorter than requested", d.WindowNanos)
+	}
+	ops := d.Counters["ops"]
+	if ops.Delta == 0 || ops.PerSec <= 0 {
+		t.Fatalf("counter rate = %+v", ops)
+	}
+	lat := d.Histograms["lat"]
+	if lat.CountDelta == 0 || lat.PerSec <= 0 {
+		t.Fatalf("histogram rate = %+v", lat)
+	}
+	// Every windowed observation was ~2^20ns, so the interpolated window
+	// mean must sit inside that bucket [2^19, 2^20) scaled — i.e. within
+	// a factor of two — and must NOT be dragged toward the pre-window
+	// 100ns observation.
+	if lat.MeanWindow < float64(1<<19) || lat.MeanWindow > float64(1<<21) {
+		t.Fatalf("window mean %.0f not in the 2^20 bucket's range", lat.MeanWindow)
+	}
+}
+
+func TestDeltaBadWindow(t *testing.T) {
+	srv := httptest.NewServer(NewMux(func() *obs.Registry { return nil }))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics/delta?window=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestNilRegistryServesEmptyDocs(t *testing.T) {
+	srv := httptest.NewServer(NewMux(func() *obs.Registry { return nil }))
+	defer srv.Close()
+	var s obs.Snapshot
+	get(t, srv, "/metrics.json", &s)
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot = %+v", s)
+	}
+	var doc TraceDoc
+	get(t, srv, "/trace", &doc)
+	if doc.EventsTotal != 0 || doc.SlowOpsTotal != 0 {
+		t.Fatalf("nil registry trace = %+v", doc)
+	}
+}
+
+func TestSourceSwapServedLive(t *testing.T) {
+	// The drivers publish a fresh registry per run; the server must follow.
+	var cur atomic.Pointer[obs.Registry]
+	srv := httptest.NewServer(NewMux(func() *obs.Registry { return cur.Load() }))
+	defer srv.Close()
+
+	r1 := obs.New()
+	r1.Counter("run").Add(1)
+	cur.Store(r1)
+	var s obs.Snapshot
+	get(t, srv, "/metrics.json", &s)
+	if s.Counters["run"] != 1 {
+		t.Fatalf("first registry not served: %+v", s.Counters)
+	}
+
+	r2 := obs.New()
+	r2.Counter("run").Add(2)
+	cur.Store(r2)
+	get(t, srv, "/metrics.json", &s)
+	if s.Counters["run"] != 2 {
+		t.Fatalf("swapped registry not served: %+v", s.Counters)
+	}
+}
+
+func TestPprofIndexServed(t *testing.T) {
+	srv := httptest.NewServer(NewMux(func() *obs.Registry { return nil }))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	r := obs.New()
+	r.Counter("alive").Inc()
+	s, err := Serve("127.0.0.1:0", func() *obs.Registry { return r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics.json")
+	if err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil || snap.Counters["alive"] != 1 {
+		s.Close()
+		t.Fatalf("decode: %v, snapshot %+v", err, snap)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics.json"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

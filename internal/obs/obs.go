@@ -1,6 +1,7 @@
 // Package obs is the repository's dependency-free observability layer:
 // atomic counters and gauges, fixed-bucket latency histograms with a
-// lock-free record path, and a typed event-trace ring buffer, collected
+// lock-free record path, a typed event-trace ring buffer, and span
+// tracing with bounded slow-operation capture (span.go), collected
 // behind a Registry that snapshots to a stable JSON schema.
 //
 // Design constraints, in order:

@@ -19,17 +19,21 @@ type Registry struct {
 	hists    map[string]*Histogram
 	funcs    map[string]func() int64
 	trace    *Trace
+	slowState
 }
 
-// New creates an empty registry with a DefaultTraceCap event ring.
+// New creates an empty registry with a DefaultTraceCap event ring and a
+// DefaultSlowOpCap slow-op ring (threshold DefaultSlowOpNanos).
 func New() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		funcs:    make(map[string]func() int64),
 		trace:    NewTrace(DefaultTraceCap),
 	}
+	r.initSlow()
+	return r
 }
 
 // Counter returns the named counter, creating it on first use. Nil (a
@@ -85,6 +89,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 // buffer-pool hit counts). Re-registering a name replaces the callback.
 // The callback runs on the snapshotting goroutine and must do its own
 // locking. No-op on a nil registry.
+//
+// Re-entrancy contract: Snapshot evaluates callbacks with NO registry
+// lock held, so a callback may freely look up or read handles on the same
+// registry (Counter, Gauge, Histogram, Trace — each takes the registry
+// lock briefly itself) and may take engine locks such as the one inside
+// pagedb.Stats. The one thing a callback must NOT do is call Snapshot or
+// WriteJSON on a registry whose funcs (transitively) include itself —
+// that recurses without bound. TestSnapshotGaugeFuncReentrancy pins the
+// lock-free evaluation.
 func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	if r == nil || fn == nil {
 		return
@@ -108,10 +121,47 @@ func (r *Registry) Trace() *Trace {
 // events oldest-first. Maps marshal with sorted keys, so the rendered
 // JSON is deterministic for a given state.
 type Snapshot struct {
+	// Compact marks a snapshot passed through Compacted: zero-valued and
+	// empty series were dropped, so "series absent" means "series zero",
+	// not "series never existed". Consumers that require a series to EXIST
+	// (cmd/benchcheck) relax to requiring it non-empty on compact
+	// snapshots.
+	Compact    bool                         `json:"compact,omitempty"`
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Events     []Event                      `json:"events,omitempty"`
+}
+
+// Compacted returns a reviewable copy of the snapshot: zero-valued
+// counters and gauges, empty histograms, and the event ring are dropped
+// (histogram bucket lists already omit empty buckets). Nothing a nonzero
+// series reported is lost — compaction only removes entries whose value
+// is exactly the zero the reader would infer from their absence. The copy
+// is marked Compact so schema validators know absence means zero.
+func (s Snapshot) Compacted() Snapshot {
+	out := Snapshot{
+		Compact:    true,
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		if v != 0 {
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range s.Gauges {
+		if v != 0 {
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Histograms {
+		if v.Count != 0 {
+			out.Histograms[k] = v
+		}
+	}
+	return out
 }
 
 // Snapshot reads every metric. Counters and gauges are single atomic
@@ -165,10 +215,19 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // WriteJSON writes the snapshot as indented JSON.
-func (r *Registry) WriteJSON(w io.Writer) error {
+func (r *Registry) WriteJSON(w io.Writer) error { return writeJSON(w, r.Snapshot()) }
+
+// WriteJSONCompact writes the Compacted snapshot as indented JSON — the
+// form lsbench persists into BENCH_*.json so committed trajectory files
+// stay reviewable.
+func (r *Registry) WriteJSONCompact(w io.Writer) error {
+	return writeJSON(w, r.Snapshot().Compacted())
+}
+
+func writeJSON(w io.Writer, s Snapshot) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(r.Snapshot()); err != nil {
+	if err := enc.Encode(s); err != nil {
 		return fmt.Errorf("obs: encoding snapshot: %w", err)
 	}
 	return nil

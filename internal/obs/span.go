@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing.
+//
+// A span brackets one timed leg of an operation; a root span plus its
+// children form the operation's latency tree. The engines keep span
+// creation always-on in their hot paths, so the design constraints mirror
+// the metrics above:
+//
+//   - A nil *Span is the disabled mode: every method no-ops behind one
+//     branch, and StartSpan on a nil registry returns nil, so layers
+//     thread spans unconditionally. BenchmarkSpanOverhead pins the cost.
+//   - Enabled spans are allocation-conscious: span objects are recycled
+//     through a pool, and a fast operation's tree is returned to it at
+//     root End without ever being serialized.
+//   - Only SLOW operations are retained: when a root span's duration
+//     reaches the registry's slow-op threshold (default
+//     DefaultSlowOpNanos), the whole tree is snapshotted into a bounded
+//     ring, so a stalled commit shows which layer ate the time without
+//     per-operation storage ever growing.
+//
+// A span tree belongs to one goroutine: Child and End must not be called
+// concurrently on the same tree. Different trees are independent.
+
+// DefaultSlowOpNanos is the slow-op retention threshold a Registry starts
+// with: operations at or above it (p99-ish for a commit against real
+// storage) have their span tree captured. Tune with SetSlowOpThreshold.
+const DefaultSlowOpNanos = int64(10 * time.Millisecond)
+
+// DefaultSlowOpCap is the slow-op ring capacity a Registry allocates.
+const DefaultSlowOpCap = 64
+
+// Span is one timed leg of an operation. The zero value is not usable;
+// spans come from StartSpan and Span.Child, and a nil *Span no-ops.
+type Span struct {
+	name     string
+	start    time.Time
+	dur      time.Duration
+	reg      *Registry // root only; nil on children
+	children []*Span
+}
+
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// StartSpan opens a root span on r. Nil (the no-op span) on a nil
+// registry, so "tracing off" is the zero value like the rest of the
+// package.
+func StartSpan(r *Registry, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := spanPool.Get().(*Span)
+	s.name, s.reg, s.dur = name, r, 0
+	s.start = time.Now()
+	return s
+}
+
+// Child opens a sub-span under s, timing one leg of the parent's work.
+// Children may nest arbitrarily. Nil on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := spanPool.Get().(*Span)
+	c.name, c.reg, c.dur = name, nil, 0
+	c.start = time.Now()
+	s.children = append(s.children, c)
+	return c
+}
+
+// End closes the span. Ending a root span finishes the operation: if its
+// duration reaches the registry's slow-op threshold the whole tree is
+// captured into the slow-op ring; otherwise the tree is recycled. End is
+// idempotent on children (the second call is a no-op via dur != 0) but a
+// root must be ended exactly once, after all its children.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.dur == 0 {
+		s.dur = time.Since(s.start)
+		if s.dur == 0 {
+			s.dur = 1 // clock granularity: "ended" must be observable
+		}
+	}
+	if s.reg == nil {
+		return
+	}
+	r := s.reg
+	if int64(s.dur) >= r.slowNanos.Load() {
+		r.slow.push(s.record())
+	}
+	s.recycle()
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// record converts the span tree into its retained form.
+func (s *Span) record() SpanRecord {
+	rec := SpanRecord{
+		Name:  s.name,
+		Start: s.start.UnixNano(),
+		Dur:   int64(s.dur),
+	}
+	if len(s.children) > 0 {
+		rec.Children = make([]SpanRecord, 0, len(s.children))
+		for _, c := range s.children {
+			if c.dur == 0 {
+				// An un-ended child of a slow root: close it at the root's
+				// end so the captured tree never shows a negative or zero
+				// leg (End order bugs stay visible as an over-long child).
+				c.dur = time.Since(c.start)
+			}
+			rec.Children = append(rec.Children, c.record())
+		}
+	}
+	return rec
+}
+
+// recycle returns the tree to the pool.
+func (s *Span) recycle() {
+	for _, c := range s.children {
+		c.recycle()
+	}
+	s.children = s.children[:0]
+	s.name, s.reg = "", nil
+	spanPool.Put(s)
+}
+
+// SpanRecord is one retained span in a captured slow-op tree: the name,
+// wall-clock start, duration, and the child legs in creation order. The
+// parent's duration minus the children's sum is time spent in the parent's
+// own code.
+type SpanRecord struct {
+	Name     string       `json:"name"`
+	Start    int64        `json:"start_unix_nanos"`
+	Dur      int64        `json:"dur_ns"`
+	Children []SpanRecord `json:"children,omitempty"`
+}
+
+// slowRing is a bounded ring of captured slow-op span trees, same shape as
+// the event trace: a burst of slow operations overwrites the oldest.
+type slowRing struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	total uint64
+}
+
+func newSlowRing(capacity int) *slowRing {
+	if capacity <= 0 {
+		capacity = DefaultSlowOpCap
+	}
+	return &slowRing{buf: make([]SpanRecord, 0, capacity)}
+}
+
+func (sr *slowRing) push(rec SpanRecord) {
+	sr.mu.Lock()
+	if len(sr.buf) < cap(sr.buf) {
+		sr.buf = append(sr.buf, rec)
+	} else {
+		sr.buf[sr.total%uint64(cap(sr.buf))] = rec
+	}
+	sr.total++
+	sr.mu.Unlock()
+}
+
+func (sr *slowRing) records() []SpanRecord {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	out := make([]SpanRecord, 0, len(sr.buf))
+	if len(sr.buf) < cap(sr.buf) {
+		return append(out, sr.buf...)
+	}
+	start := sr.total % uint64(cap(sr.buf))
+	for i := 0; i < len(sr.buf); i++ {
+		out = append(out, sr.buf[(start+uint64(i))%uint64(cap(sr.buf))])
+	}
+	return out
+}
+
+func (sr *slowRing) count() uint64 {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.total
+}
+
+// SetSlowOpThreshold sets the duration at which a finished root span is
+// captured into the slow-op ring (default DefaultSlowOpNanos). Zero or
+// negative captures every operation — useful in tests, ruinous in
+// production. No-op on a nil registry.
+func (r *Registry) SetSlowOpThreshold(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.slowNanos.Store(int64(d))
+}
+
+// SlowOps returns the retained slow-operation span trees, oldest first,
+// and the total number ever captured (including overwritten ones). Empty
+// on a nil registry.
+func (r *Registry) SlowOps() ([]SpanRecord, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	return r.slow.records(), r.slow.count()
+}
+
+// slowState is the registry's slow-op capture state, embedded so New stays
+// in registry.go.
+type slowState struct {
+	slowNanos atomic.Int64
+	slow      *slowRing
+}
+
+func (st *slowState) initSlow() {
+	st.slowNanos.Store(DefaultSlowOpNanos)
+	st.slow = newSlowRing(DefaultSlowOpCap)
+}

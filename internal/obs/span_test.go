@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNilFastPath(t *testing.T) {
+	sp := StartSpan(nil, "root")
+	if sp != nil {
+		t.Fatalf("StartSpan on a nil registry returned %v, want nil", sp)
+	}
+	c := sp.Child("leg")
+	if c != nil {
+		t.Fatalf("Child on a nil span returned %v, want nil", c)
+	}
+	c.End()
+	sp.End() // must not panic
+	if got := sp.Name(); got != "" {
+		t.Fatalf("nil span Name() = %q, want empty", got)
+	}
+}
+
+func TestSpanFastOpNotRetained(t *testing.T) {
+	r := New()
+	sp := StartSpan(r, "quick")
+	sp.Child("leg").End()
+	sp.End()
+	recs, total := r.SlowOps()
+	if len(recs) != 0 || total != 0 {
+		t.Fatalf("fast op captured: %d records, total %d", len(recs), total)
+	}
+}
+
+func TestSpanSlowOpCaptured(t *testing.T) {
+	r := New()
+	r.SetSlowOpThreshold(time.Millisecond)
+	sp := StartSpan(r, "commit")
+	a := sp.Child("append")
+	a.End()
+	f := sp.Child("fsync")
+	time.Sleep(3 * time.Millisecond)
+	f.End()
+	sp.End()
+
+	recs, total := r.SlowOps()
+	if total != 1 || len(recs) != 1 {
+		t.Fatalf("got %d records (total %d), want 1", len(recs), total)
+	}
+	root := recs[0]
+	if root.Name != "commit" || root.Dur < int64(3*time.Millisecond) {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 2 || root.Children[0].Name != "append" || root.Children[1].Name != "fsync" {
+		t.Fatalf("children = %+v", root.Children)
+	}
+	if fs := root.Children[1]; fs.Dur < int64(2*time.Millisecond) || fs.Dur > root.Dur {
+		t.Fatalf("fsync leg %d ns not attributed the sleep (root %d ns)", fs.Dur, root.Dur)
+	}
+	// The tree must marshal (it is served over /trace).
+	if _, err := json.Marshal(recs); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestSpanZeroThresholdCapturesEverything(t *testing.T) {
+	r := New()
+	r.SetSlowOpThreshold(0)
+	for i := 0; i < 3; i++ {
+		sp := StartSpan(r, "op")
+		sp.Child("leg").End()
+		sp.End()
+	}
+	if _, total := r.SlowOps(); total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+}
+
+func TestSlowRingBoundedAndOrdered(t *testing.T) {
+	r := New()
+	r.SetSlowOpThreshold(0)
+	for i := 0; i < DefaultSlowOpCap+10; i++ {
+		sp := StartSpan(r, fmt.Sprintf("op-%d", i))
+		sp.End()
+	}
+	recs, total := r.SlowOps()
+	if total != uint64(DefaultSlowOpCap+10) {
+		t.Fatalf("total = %d, want %d", total, DefaultSlowOpCap+10)
+	}
+	if len(recs) != DefaultSlowOpCap {
+		t.Fatalf("retained %d, want cap %d", len(recs), DefaultSlowOpCap)
+	}
+	if recs[0].Name != "op-10" || recs[len(recs)-1].Name != fmt.Sprintf("op-%d", DefaultSlowOpCap+9) {
+		t.Fatalf("ring not oldest-first: first %q last %q", recs[0].Name, recs[len(recs)-1].Name)
+	}
+}
+
+func TestSpanUnendedChildClosedAtRootEnd(t *testing.T) {
+	r := New()
+	r.SetSlowOpThreshold(0)
+	sp := StartSpan(r, "op")
+	sp.Child("forgotten") // never ended
+	time.Sleep(time.Millisecond)
+	sp.End()
+	recs, _ := r.SlowOps()
+	if len(recs) != 1 || len(recs[0].Children) != 1 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if d := recs[0].Children[0].Dur; d <= 0 {
+		t.Fatalf("un-ended child captured with dur %d", d)
+	}
+}
+
+// TestSpanConcurrentTrees races independent span trees from many
+// goroutines against SlowOps readers: trees share only the pool and the
+// ring, both of which must be safe.
+func TestSpanConcurrentTrees(t *testing.T) {
+	r := New()
+	r.SetSlowOpThreshold(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := StartSpan(r, "w")
+				sp.Child("a").End()
+				c := sp.Child("b")
+				c.Child("b1").End()
+				c.End()
+				sp.End()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			recs, _ := r.SlowOps()
+			for _, rec := range recs {
+				if rec.Name != "w" || rec.Dur <= 0 {
+					panic(fmt.Sprintf("torn record: %+v", rec))
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if _, total := r.SlowOps(); total != 4*500 {
+		t.Fatalf("total = %d, want %d", total, 4*500)
+	}
+}

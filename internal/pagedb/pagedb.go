@@ -478,18 +478,31 @@ func (db *DB) finishOp(err error) error {
 // at core.DurCommit, Commit returns only after the batch is fsynced.
 func (db *DB) Commit() error {
 	t0 := time.Now()
+	// The checkpoint's span tree breaks its latency into the eviction
+	// sweep, the dirty flush into the stage, the atomic store batch (whose
+	// own legs nest under it via ApplySpanned), and the WAL truncation.
+	sp := obs.StartSpan(db.obsReg, "pagedb.checkpoint")
+	defer sp.End()
+	leg := sp.Child("lock.wait")
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	leg.End()
 	if db.closed {
 		return ErrClosed
 	}
-	err := db.commitLocked()
+	err := db.commitLocked(sp)
 	db.hCommit.Record(uint64(time.Since(t0)))
 	return err
 }
 
-func (db *DB) commitLocked() error {
-	if err := db.sweepEvictions(); err != nil {
+// commitLocked runs the checkpoint under db.mu. sp, when non-nil, is the
+// caller's root span; the checkpoint legs attach to it (Close passes nil —
+// shutdown latency is not an operation worth capturing).
+func (db *DB) commitLocked(sp *obs.Span) error {
+	leg := sp.Child("sweep")
+	err := db.sweepEvictions()
+	leg.End()
+	if err != nil {
 		return err
 	}
 	// Everything the log committed so far is applied to the trees (Txn
@@ -525,6 +538,7 @@ func (db *DB) commitLocked() error {
 
 	// Gather images: previously evicted dirty pages, then every dirty
 	// resident page via the pool's flush callback (fresher state wins).
+	leg = sp.Child("stage")
 	db.stage = make(map[uint32][]byte, len(db.pending)+8)
 	for id, img := range db.pending {
 		db.stage[id] = img
@@ -532,6 +546,7 @@ func (db *DB) commitLocked() error {
 	_, flushErr := db.pool.FlushDirty()
 	stage := db.stage
 	db.stage = nil
+	leg.End()
 	if flushErr != nil {
 		// Pages whose flush callback failed stay dirty and resident, so the
 		// next Commit retries them; what did stage goes back to pending.
@@ -584,7 +599,7 @@ func (db *DB) commitLocked() error {
 	// other member) rolls the whole batch back on recovery.
 	b.Write(metaPageID, meta)
 
-	if err := db.st.Apply(b); err != nil {
+	if err := db.st.ApplySpanned(b, sp); err != nil {
 		db.restoreStage(stage)
 		return err
 	}
@@ -601,7 +616,10 @@ func (db *DB) commitLocked() error {
 	// any earlier could lose acknowledged commits to a torn batch.
 	if ck > db.walSeq {
 		db.walSeq = ck
-		if err := db.wal.Truncate(ck); err != nil {
+		leg = sp.Child("wal.truncate")
+		err := db.wal.Truncate(ck)
+		leg.End()
+		if err != nil {
 			return fmt.Errorf("pagedb: commit durable, but truncating the wal failed: %w", err)
 		}
 	}
@@ -636,7 +654,7 @@ func (db *DB) Close() error {
 	if db.closed {
 		return nil
 	}
-	err := db.commitLocked()
+	err := db.commitLocked(nil)
 	db.closed = true
 	if werr := db.wal.Close(); err == nil && !errors.Is(werr, wal.ErrClosed) {
 		err = werr

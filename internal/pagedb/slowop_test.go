@@ -1,0 +1,117 @@
+package pagedb
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/httpx"
+)
+
+// TestSlowTxnCapturedWithFsyncAttribution is the span layer's end-to-end
+// acceptance: a transaction made slow by an injected WAL fsync delay must
+// land in the slow-op ring as a "txn.commit" tree whose "wal.commit" child
+// — the group-fsync wait — owns the bulk of the time, and the capture must
+// be retrievable over the introspection server's /trace endpoint.
+func TestSlowTxnCapturedWithFsyncAttribution(t *testing.T) {
+	db, err := Open(durableOpts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const delay = 20 * time.Millisecond
+	db.wal.InjectFsyncDelay(delay)
+	db.Obs().SetSlowOpThreshold(delay / 2)
+
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("orders", 1, val(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, total := db.Obs().SlowOps()
+	if total == 0 || len(recs) == 0 {
+		t.Fatal("slow transaction was not captured")
+	}
+	root := recs[len(recs)-1]
+	if root.Name != "txn.commit" {
+		t.Fatalf("captured root = %q, want txn.commit", root.Name)
+	}
+	if root.Dur < int64(delay) {
+		t.Fatalf("root dur %dns shorter than the injected %v", root.Dur, delay)
+	}
+	var fsyncLeg *obs.SpanRecord
+	for i := range root.Children {
+		if root.Children[i].Name == "wal.commit" {
+			fsyncLeg = &root.Children[i]
+		}
+	}
+	if fsyncLeg == nil {
+		t.Fatalf("no wal.commit child in %+v", root.Children)
+	}
+	// The injected delay happened inside the fsync round: the wal.commit
+	// leg, not the append or apply legs, must own it.
+	if fsyncLeg.Dur < int64(delay) {
+		t.Fatalf("wal.commit leg %dns does not cover the %v fsync delay", fsyncLeg.Dur, delay)
+	}
+	if other := root.Dur - fsyncLeg.Dur; other > fsyncLeg.Dur {
+		t.Fatalf("fsync leg %dns is not the dominant cost (rest %dns)", fsyncLeg.Dur, other)
+	}
+
+	// The same capture must be visible over the live server.
+	srv, err := httpx.Serve("127.0.0.1:0", db.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc httpx.TraceDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SlowOpsTotal == 0 || len(doc.SlowOps) == 0 {
+		t.Fatal("/trace returned no slow ops")
+	}
+	served := doc.SlowOps[len(doc.SlowOps)-1]
+	if served.Name != "txn.commit" || served.Dur != root.Dur {
+		t.Fatalf("/trace slow op %q (%dns) does not match the ring's %q (%dns)",
+			served.Name, served.Dur, root.Name, root.Dur)
+	}
+}
+
+// TestFastTxnNotCaptured pins the other half of the contract: at the
+// default 10ms threshold, ordinary in-memory transactions leave nothing in
+// the ring — slow-op capture is for outliers, not a per-op log.
+func TestFastTxnNotCaptured(t *testing.T) {
+	db, err := Open(memOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := uint64(0); i < 50; i++ {
+		txn, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Put("orders", i, val(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, total := db.Obs().SlowOps(); total != 0 {
+		t.Fatalf("%d fast transactions captured as slow", total)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -236,12 +237,22 @@ func (t *Txn) Commit() error {
 		return nil
 	}
 	db := t.db
+	// The span tree attributes the commit's latency to its legs: lock
+	// acquisition, WAL append, tree apply, then the group-fsync wait. A
+	// commit that crosses the slow-op threshold lands in the registry's
+	// slow-op ring with this breakdown intact.
+	sp := obs.StartSpan(db.obsReg, "txn.commit")
+	defer sp.End()
+	leg := sp.Child("lock.wait")
 	db.mu.Lock()
+	leg.End()
 	if db.closed {
 		db.mu.Unlock()
 		return ErrClosed
 	}
+	leg = sp.Child("wal.append")
 	seq, err := db.wal.Append(t.id, t.ops)
+	leg.End()
 	if err != nil {
 		db.mu.Unlock()
 		return err
@@ -249,17 +260,22 @@ func (t *Txn) Commit() error {
 	// The log accepted the transaction: from here on it WILL exist after a
 	// crash, so apply failures (a fault mid-split, an unpersistable page)
 	// are reported but do not un-log it — reopen replays it whole.
+	leg = sp.Child("tree.apply")
 	err = db.applyOps(t.ops)
 	if serr := db.sweepEvictions(); err == nil {
 		err = serr
 	}
+	leg.End()
 	db.txns++
 	db.epoch.Add(1)
 	db.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	return db.wal.Commit(seq)
+	leg = sp.Child("wal.commit")
+	err = db.wal.Commit(seq)
+	leg.End()
+	return err
 }
 
 // Rollback abandons the transaction: nothing was logged, nothing touched

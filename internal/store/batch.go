@@ -80,24 +80,37 @@ type plannedOp struct {
 // guarantees a torn batch is never surfaced partially. (Backend I/O
 // errors mid-apply are the one non-atomic failure: the store state is
 // whatever the error left, exactly as for single writes.)
-func (s *Store) Apply(b *Batch) error {
+func (s *Store) Apply(b *Batch) error { return s.ApplySpanned(b, nil) }
+
+// ApplySpanned is Apply with an optional parent span: with a non-nil
+// parent the admission check, the locked apply, and the group-fsync wait
+// are recorded as child spans ("store.admit", "store.apply",
+// "store.commit.wait"), so a slow checkpoint's capture shows where inside
+// the store the time went. A nil parent records nothing and costs one
+// branch per leg — the path every non-traced caller takes through Apply.
+func (s *Store) ApplySpanned(b *Batch, parent *obs.Span) error {
 	if b == nil || len(b.ops) == 0 {
 		return nil
 	}
 	for attempt := 0; ; attempt++ {
 		if s.cl != nil {
-			if err := s.cl.AdmitN(len(b.ops)); err != nil {
+			leg := parent.Child("store.admit")
+			err := s.cl.AdmitN(len(b.ops))
+			leg.End()
+			if err != nil {
 				if errors.Is(err, cleaner.ErrExhausted) {
 					return fmt.Errorf("%w: %v", ErrFull, err)
 				}
 				return fmt.Errorf("store: batch admission: %w", err)
 			}
 		}
+		leg := parent.Child("store.apply")
 		s.mu.Lock()
 		err := s.applyLocked(b)
 		seq := s.seq
 		lowWater := s.cl != nil && len(s.free) < s.lowWaterLocked()
 		s.mu.Unlock()
+		leg.End()
 		if lowWater {
 			s.cl.Kick()
 		}
@@ -105,7 +118,9 @@ func (s *Store) Apply(b *Batch) error {
 			continue
 		}
 		if err == nil && s.opts.Durability == core.DurCommit {
-			return s.commitWait(seq)
+			leg := parent.Child("store.commit.wait")
+			err = s.commitWait(seq)
+			leg.End()
 		}
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -98,6 +99,11 @@ type Log struct {
 	}
 
 	truncations uint64
+
+	// fsyncDelay is an injected artificial delay (nanos) applied before
+	// each fsync syscall — a fault hook for making group-commit rounds
+	// deterministically slow in tests. Zero (the default) disables it.
+	fsyncDelay atomic.Int64
 
 	hAppend  *obs.Histogram
 	hFsync   *obs.Histogram
@@ -460,6 +466,9 @@ func (l *Log) fsyncTail() (upTo uint64, err error) {
 	if closed {
 		return 0, ErrClosed
 	}
+	if d := l.fsyncDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	t0 := time.Now()
 	err = f.Sync()
 	l.hFsync.Record(uint64(time.Since(t0)))
@@ -467,6 +476,14 @@ func (l *Log) fsyncTail() (upTo uint64, err error) {
 		return 0, fmt.Errorf("wal: fsync: %w", err)
 	}
 	return upTo, nil
+}
+
+// InjectFsyncDelay sets an artificial delay applied before every fsync
+// syscall the log issues — a test hook for making a commit's durability
+// wait deterministically slow (e.g. to land an operation in the slow-op
+// ring). Zero or negative disables; safe to call concurrently.
+func (l *Log) InjectFsyncDelay(d time.Duration) {
+	l.fsyncDelay.Store(int64(d))
 }
 
 // Truncate records that a checkpoint now covers every transaction with
