@@ -161,6 +161,11 @@ func checkFile(path string) error {
 				return fmt.Errorf("run %d (%s/%s): %w", i, run.Engine, run.Algorithm, err)
 			}
 		}
+		if rep.Experiment == "readpath" {
+			if err := checkReadPath(run.Metrics); err != nil {
+				return fmt.Errorf("run %d (%s/%s): %w", i, run.Engine, run.Algorithm, err)
+			}
+		}
 	}
 	form := "full"
 	if rep.Runs[0].Metrics.Compact {
@@ -213,6 +218,28 @@ func checkWAL(s *obs.Snapshot) error {
 	}
 	if rounds == 0 || rounds > commits {
 		return fmt.Errorf("incoherent group commit: %d fsync rounds for %d commits", rounds, commits)
+	}
+	return nil
+}
+
+// checkReadPath validates a readpath run: it must carry at least one
+// non-empty per-operation latency histogram (readpath.<op>.<N>r.ns), and
+// the fused read path must actually have served it — a readpath run whose
+// fused-hit gauge is zero means the engine fell back to a slower path,
+// which is an instrumentation or read-path regression either way.
+func checkReadPath(s *obs.Snapshot) error {
+	recorded := false
+	for name, h := range s.Histograms {
+		if len(name) > 9 && name[:9] == "readpath." && h.Count > 0 {
+			recorded = true
+			break
+		}
+	}
+	if !recorded {
+		return fmt.Errorf("no non-empty readpath.* latency histogram")
+	}
+	if s.Gauges["bufferpool.fused_hits"] <= 0 {
+		return fmt.Errorf("bufferpool.fused_hits gauge is zero: reads bypassed the fused path")
 	}
 	return nil
 }

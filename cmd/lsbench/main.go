@@ -11,6 +11,7 @@
 //	lsbench -exp batching -scale medium     # per-op vs batched writes with group commit
 //	lsbench -exp tpcc -scale medium         # TPC-C end-to-end on the durable B+-tree engine
 //	lsbench -exp tpcc -workers 4            # concurrent TPC-C, one WAL group-commit per transaction
+//	lsbench -exp readpath -scale small      # fused read-path latency, single-thread and parallel
 package main
 
 import (
@@ -29,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lsbench: ")
 
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig3, fig4, fig5, fig6, cleaner, routing, batching, tpcc")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig3, fig4, fig5, fig6, cleaner, routing, batching, tpcc, readpath")
 	scaleName := flag.String("scale", "medium", "geometry preset: small, medium, paper")
 	format := flag.String("format", "md", "output format: md, csv")
 	fill := flag.Float64("fill", 0, "tpcc only: target sealed-region fill factor (0 = default 0.6; routed placement is predicted to pay at 0.8+)")
@@ -125,6 +126,13 @@ func main() {
 		default:
 			tables = append(tables, experiments.TPCCDurable(scale, progress))
 		}
+	case "readpath":
+		// Beyond the paper: the engine's fused read path (FetchPinned per
+		// tree level, lock-free Release) measured as latency histograms —
+		// Get, GetInto and Scan, single-threaded and with GOMAXPROCS
+		// readers, over a fully cached tree. The committed
+		// BENCH_readpath_small.json is CI's regression baseline.
+		tables = append(tables, experiments.ReadPath(scale, progress))
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -145,7 +153,7 @@ func main() {
 		rep := experiments.TakeReport()
 		rep.UnixNanos = time.Now().UnixNano()
 		if len(rep.Runs) == 0 {
-			log.Printf("warning: -exp %s records no metrics runs (only cleaner, routing, batching and tpcc do)", *exp)
+			log.Printf("warning: -exp %s records no metrics runs (only cleaner, routing, batching, tpcc and readpath do)", *exp)
 		}
 		f, err := os.Create(*metricsOut)
 		if err != nil {

@@ -20,20 +20,27 @@
 // changes) allocate and free page ids through the pool's allocator so that
 // all trees of a database share one page id space.
 //
-// # The NodeStore Fetch/Release contract
+// # The fused NodeStore Fetch/Release contract
 //
 // The Core accesses nodes exclusively through the NodeStore interface, and
 // every access is bracketed: Fetch returns the node PINNED — the store must
 // keep the pointer valid and its mutations durable-trackable until the
 // matching Release — and the Core guarantees that by the time any operation
 // returns (error paths included) it has Released every node it Fetched.
-// Pins nest, Free discards the freed node's pins, and Release of a freed id
-// is a no-op. This discipline is what lets a store reclaim memory safely
-// underneath the tree: pagedb's buffer pool evicts only unpinned frames, so
-// concurrent readers can fault and evict against each other without ever
-// pulling a node out from under an in-flight operation. A store whose
-// nodes cannot disappear (the in-memory one here) implements Release as a
-// no-op and loses nothing.
+// The protocol is FUSED: a store that keeps decoded nodes inside its buffer
+// pool frames (pagedb) serves Fetch as one combined lookup-and-pin
+// (bufferpool.FetchPinned) and stamps the node's Pin handle, so Release(n)
+// drops the pin through the handle with no id lookup — one cache
+// acquisition per node visit instead of the three (cache lookup, Pin,
+// Unpin) a layered node cache pays. Pins nest, Free discards the freed
+// node's pins, and Release of a node whose id was freed is a no-op (the
+// handle's version stamp no longer matches the recycled frame). This
+// discipline is what lets a store reclaim memory safely underneath the
+// tree: pagedb's buffer pool evicts only unpinned frames, so concurrent
+// readers can fault and evict against each other without ever pulling a
+// node out from under an in-flight operation. A store whose nodes cannot
+// disappear (the in-memory one here) implements Release as a no-op and
+// loses nothing.
 //
 // Concurrency: a Tree is safe for concurrent READERS (Get/Scan/Len/Height/
 // CheckInvariants) provided no writer runs at the same time — the read path
@@ -177,7 +184,7 @@ func (s *memStore) Fetch(id uint32) (*Node, error) {
 
 // Release is a no-op: in-memory nodes can never be reclaimed mid-use, so
 // the pin protocol costs nothing here.
-func (s *memStore) Release(uint32) {}
+func (s *memStore) Release(*Node) {}
 
 func (s *memStore) MarkDirty(id uint32) { s.pool.Dirty(id) }
 

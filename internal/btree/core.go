@@ -1,6 +1,10 @@
 package btree
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/bufferpool"
+)
 
 // This file is the single B+-tree algorithm of the repository: insert/split,
 // delete with borrow+merge rebalancing, range scan, page collection and the
@@ -59,6 +63,14 @@ type Node struct {
 	// excluded). The Core maintains it; stores materializing nodes from
 	// page images rebuild it (NodeOfPage).
 	NBytes int
+	// Pin is the node's buffer-pool frame handle, set by stores that keep
+	// their nodes in fused pool frames (internal/pagedb): Fetch returns the
+	// node with the frame pinned, and Release(n) drops that pin through
+	// this handle — no map lookup needed. Stores without a pool leave it
+	// zero (releasing the zero Handle is a no-op). The handle identifies
+	// the frame INCARNATION (frame + version stamp), so a stale handle held
+	// across a Free or eviction releases nothing.
+	Pin bufferpool.Handle
 }
 
 // NodeStore is the fallible fetch-by-id accessor the Core is written
@@ -68,19 +80,26 @@ type Node struct {
 // Fetch must stay valid — and its mutations must not be lost — until it is
 // Released.
 //
-// Contract:
+// Contract (the fused Fetch/Release protocol):
 //
 //   - Alloc reserves a fresh node id, never 0 (the nil link), registers an
 //     empty node under it, and reports it dirty to the store's residency
 //     tracking. The node is immediately Fetchable.
 //   - Fetch returns the current node for id, faulting it in from backing
 //     storage if needed, records a read access, and PINS the node: until
-//     the matching Release the store must not reclaim it. Pins nest — the
-//     Core may Fetch a node it already holds (delete's child re-fetch).
-//   - Release drops one pin taken by Fetch. The Core releases every node it
-//     fetches by the time an operation returns, on error paths included, so
-//     between operations no node is pinned. Releasing an id that was Freed
-//     after the Fetch is legal and a no-op.
+//     the matching Release the store must not reclaim it. A fused store
+//     resolves the whole step in one cache acquisition (pagedb's pool
+//     frame holds the decoded node and the pin count side by side —
+//     bufferpool.FetchPinned) and stamps the node's Pin handle so Release
+//     needs no lookup. Pins nest — the Core may Fetch a node it already
+//     holds (delete's child re-fetch); nested Fetches return the same
+//     *Node and the same handle, and each is balanced by one Release.
+//   - Release(n) drops one pin taken by the Fetch that returned n. The
+//     Core releases every node it fetches by the time an operation
+//     returns, on error paths included, so between operations no frame is
+//     pinned (pagedb.CheckPinBalance asserts exactly this). Releasing a
+//     node whose id was Freed after the Fetch is legal and a no-op: the
+//     Pin handle's version stamp no longer matches its recycled frame.
 //   - MarkDirty records that the node for id has been (or is about to be)
 //     mutated, so the store's write-back machinery persists it.
 //   - Free releases id: the node is dropped and the id may be reallocated.
@@ -89,11 +108,11 @@ type Node struct {
 //     root).
 //
 // A store whose nodes can never be reclaimed mid-use (the in-memory
-// memStore) implements Release as a no-op.
+// memStore) implements Release as a no-op and leaves Pin handles zero.
 type NodeStore interface {
 	Alloc() (uint32, error)
 	Fetch(id uint32) (*Node, error)
-	Release(id uint32)
+	Release(n *Node)
 	MarkDirty(id uint32)
 	Free(id uint32) error
 }
@@ -121,7 +140,7 @@ func NewCore(store NodeStore, pageSize int, layout Layout) (*Core, error) {
 		return nil, err
 	}
 	c.root = root.ID
-	store.Release(root.ID)
+	store.Release(root)
 	return c, nil
 }
 
@@ -203,7 +222,7 @@ func (c *Core) Get(key uint64) ([]byte, bool, error) {
 	}
 	for !n.Leaf {
 		next := n.Kids[n.childIndex(key)]
-		c.store.Release(n.ID)
+		c.store.Release(n)
 		if n, err = c.store.Fetch(next); err != nil {
 			return nil, false, err
 		}
@@ -214,7 +233,7 @@ func (c *Core) Get(key uint64) ([]byte, bool, error) {
 	if ok {
 		v = n.Vals[i]
 	}
-	c.store.Release(n.ID)
+	c.store.Release(n)
 	return v, ok, nil
 }
 
@@ -243,7 +262,7 @@ func (c *Core) Insert(key uint64, value []byte) (added bool, err error) {
 		c.root = newRoot.ID
 		c.height++
 		c.store.MarkDirty(newRoot.ID)
-		c.store.Release(newRoot.ID)
+		c.store.Release(newRoot)
 	}
 	return added, nil
 }
@@ -255,7 +274,7 @@ func (c *Core) insert(id uint32, key uint64, value []byte) (split uint32, sep ui
 	if err != nil {
 		return 0, 0, false, err
 	}
-	defer c.store.Release(id)
+	defer c.store.Release(n)
 	if n.Leaf {
 		c.store.MarkDirty(id)
 		i := search(n.Keys, key)
@@ -329,7 +348,7 @@ func (c *Core) splitLeaf(n *Node) (uint32, uint64, error) {
 	c.store.MarkDirty(n.ID)
 	c.store.MarkDirty(right.ID)
 	id, sep := right.ID, right.Keys[0]
-	c.store.Release(right.ID)
+	c.store.Release(right)
 	return id, sep, nil
 }
 
@@ -351,7 +370,7 @@ func (c *Core) splitBranch(n *Node) (uint32, uint64, error) {
 	c.store.MarkDirty(n.ID)
 	c.store.MarkDirty(right.ID)
 	id := right.ID
-	c.store.Release(id)
+	c.store.Release(right)
 	return id, sep, nil
 }
 
@@ -374,7 +393,7 @@ func (c *Core) Delete(key uint64) (bool, error) {
 			return true, err
 		}
 		if n.Leaf || len(n.Kids) != 1 {
-			c.store.Release(n.ID)
+			c.store.Release(n)
 			break
 		}
 		child := n.Kids[0]
@@ -393,7 +412,7 @@ func (c *Core) del(id uint32, key uint64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	defer c.store.Release(id)
+	defer c.store.Release(n)
 	if n.Leaf {
 		i := search(n.Keys, key)
 		if i >= len(n.Keys) || n.Keys[i] != key {
@@ -418,7 +437,7 @@ func (c *Core) del(id uint32, key uint64) (bool, error) {
 	}
 	// The child may be freed by a merge inside rebalance; Release of a
 	// freed id is a no-op by contract.
-	defer c.store.Release(childID)
+	defer c.store.Release(child)
 	if child.NBytes*4 < c.budget {
 		if err := c.rebalance(n, ci, child); err != nil {
 			return true, err
@@ -438,10 +457,10 @@ func (c *Core) rebalance(n *Node, ci int, child *Node) error {
 	// of them first; releasing a freed id is a no-op by contract.
 	defer func() {
 		if left != nil {
-			c.store.Release(left.ID)
+			c.store.Release(left)
 		}
 		if right != nil {
-			c.store.Release(right.ID)
+			c.store.Release(right)
 		}
 	}()
 	// Prefer borrowing from the left sibling, then the right.
@@ -569,7 +588,7 @@ func (c *Core) Scan(from, to uint64, fn func(key uint64, value []byte) bool) err
 	}
 	for !n.Leaf {
 		next := n.Kids[n.childIndex(from)]
-		c.store.Release(n.ID)
+		c.store.Release(n)
 		if n, err = c.store.Fetch(next); err != nil {
 			return err
 		}
@@ -580,12 +599,12 @@ func (c *Core) Scan(from, to uint64, fn func(key uint64, value []byte) bool) err
 				continue
 			}
 			if k > to || !fn(k, n.Vals[i]) {
-				c.store.Release(n.ID)
+				c.store.Release(n)
 				return nil
 			}
 		}
 		next := n.Next
-		c.store.Release(n.ID)
+		c.store.Release(n)
 		if next == 0 {
 			return nil
 		}
@@ -616,7 +635,7 @@ func (c *Core) collect(id uint32, depth int, dst []uint32) ([]uint32, error) {
 	if !n.Leaf {
 		kids = append(kids, n.Kids...)
 	}
-	c.store.Release(id)
+	c.store.Release(n)
 	for _, kid := range kids {
 		if dst, err = c.collect(kid, depth-1, dst); err != nil {
 			return dst, err

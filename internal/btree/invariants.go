@@ -31,7 +31,7 @@ func (c *Core) Check() error {
 		if err != nil {
 			return fmt.Errorf("fetching node %d: %w", id, err)
 		}
-		defer c.store.Release(id)
+		defer c.store.Release(n)
 		for i, k := range n.Keys {
 			if i > 0 && n.Keys[i-1] >= k {
 				return fmt.Errorf("node %d: keys out of order at %d", id, i)
@@ -112,7 +112,7 @@ func (c *Core) Check() error {
 			return fmt.Errorf("fetching chain leaf %d: %w", id, err)
 		}
 		next := n.Next
-		c.store.Release(id)
+		c.store.Release(n)
 		id = next
 	}
 	if id != 0 {
@@ -147,7 +147,7 @@ func (s pageFetchStore) Fetch(id uint32) (*Node, error) {
 	return NodeOfPage(id, p, PageLayout), nil
 }
 
-func (s pageFetchStore) Release(uint32) {}
+func (s pageFetchStore) Release(*Node) {}
 
 func (s pageFetchStore) MarkDirty(uint32) {}
 

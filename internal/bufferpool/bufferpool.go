@@ -14,18 +14,36 @@
 // the historical single-shard pool (byte-identical replacement behavior for
 // the §6.3 trace engine), NewSharded the concurrent one.
 //
-// Frames carry an atomic pin count (Pin/Unpin): a pinned frame is never
-// chosen as an eviction victim, so an engine reading a page's contents can
-// hold it stable without a pool-wide lock. If every frame of a shard is
-// pinned the shard grows past its nominal capacity rather than fail — the
-// pool's contract stays infallible and the overshoot is reported in Stats.
+// Frames carry an atomic pin count: a pinned frame is never chosen as an
+// eviction victim, so an engine reading a page's contents can hold it
+// stable without a pool-wide lock. If every frame of a shard is pinned the
+// shard grows past its nominal capacity rather than fail — the pool's
+// contract stays infallible and the overshoot is reported in Stats.
 //
-// Page contents live with their owners (the B+-tree keeps its nodes; only
-// the write ORDER matters to the log-structure simulator), so the pool
-// tracks residency, reference, dirty bits and pins. Without a write-back
+// # Fused frames
+//
+// Each frame also carries a decoded-object slot (any owner-defined value,
+// pagedb stores its decoded *btree.Node there). FetchPinned is the fused
+// lookup-and-pin: ONE shard read-lock acquisition returns the decoded
+// object already pinned, collapsing the separate cache-lookup/Pin/Unpin
+// round trips a layered node cache needs into a single acquisition per
+// access. Eviction clears the slot and bumps the frame's version stamp, so
+// a Release against a recycled frame (identified by its Handle) is a no-op
+// and can never unpin an unrelated page. InstallPinned is the miss side:
+// it claims the frame under the exclusive lock and binds the object before
+// publication, so racing readers either see the fully bound object or fall
+// to the slow path — never a half-installed one.
+//
+// Owners that do not use the fused slot (the §6.3 trace engine keeps nodes
+// in its own slice) use Touch/Dirty/Pin/Unpin exactly as before; the slot
+// stays nil and costs nothing.
+//
+// Page contents live with their owners, so the pool tracks residency,
+// reference, dirty bits, pins and the decoded slot. Without a write-back
 // callback it appends a page id to the trace whenever a dirty page is
 // evicted or flushed; with one, the callback consumes those write-backs
-// instead.
+// instead (and receives the evicted frame's decoded object, so a dirty
+// eviction can hand the freshest state back to the owner).
 package bufferpool
 
 import (
@@ -39,21 +57,25 @@ import (
 // invokes it
 //
 //   - when a frame is EVICTED (evicted=true): the page is leaving the pool;
-//     dirty reports whether it holds changes that have not reached storage.
-//     The owner should persist (or stage) a dirty page's contents and drop
-//     any decoded copy it keeps. The frame is reclaimed even if the callback
-//     fails — the owner keeps responsibility for the data it was handed —
-//     but the error is retained (Err) and counted, never silently dropped,
-//     regardless of which shard evicted.
+//     dirty reports whether it holds changes that have not reached storage,
+//     and obj is the frame's decoded object (nil if the owner never
+//     installed one). The owner should persist (or stage) a dirty page's
+//     contents; the decoded slot has already been cleared and the frame
+//     version bumped, so no fused reader can still reach the object through
+//     the pool. The frame is reclaimed even if the callback fails — the
+//     owner keeps responsibility for the data it was handed — but the error
+//     is retained (Err) and counted, never silently dropped, regardless of
+//     which shard evicted.
 //   - when a dirty frame is FLUSHED (evicted=false, dirty=true) by
-//     FlushDirty: the page stays resident and is marked clean only if the
-//     callback succeeds; a failing page stays dirty and the error is
-//     returned to the FlushDirty caller as well as retained.
+//     FlushDirty: the page stays resident (slot intact) and is marked clean
+//     only if the callback succeeds; a failing page stays dirty and the
+//     error is returned to the FlushDirty caller as well as retained.
 //
 // The callback runs synchronously inside pool operations (Touch, Dirty,
-// Pin, Allocate, FlushDirty) with the evicting shard's mutex held: it must
-// not call back into the pool, but may take the owner's own (finer) locks.
-type WriteBackFunc func(id uint32, dirty, evicted bool) error
+// Pin, Allocate, InstallPinned, FlushDirty) with the evicting shard's mutex
+// held: it must not call back into the pool, but may take the owner's own
+// (finer) locks.
+type WriteBackFunc func(id uint32, obj any, dirty, evicted bool) error
 
 // Pool is a sharded CLOCK buffer cache over an abstract page id space. It
 // also owns page id allocation so that multiple B+-trees (the TPC-C tables)
@@ -89,16 +111,18 @@ type Pool struct {
 // dirty and pin bits are atomics, so concurrent readers hitting the same
 // shard update them without serializing. Structural changes (insert,
 // evict, free, flush, the CLOCK sweep) take the exclusive side, which also
-// freezes every hit-path reader out, so the sweep may read frames plainly.
+// freezes every hit-path reader out; pin counts still change lock-free
+// (Release), so the sweep loads them atomically.
 type shard struct {
 	mu     sync.RWMutex
 	cap    int // nominal frame budget; the ring may grow past it (pins)
-	frames map[uint32]int
-	ring   []frame
+	frames map[uint32]*frame
+	ring   []*frame
 	hand   int
 
-	hits           uint64 // atomic: bumped under the shared lock
+	hits           uint64 // atomic: NON-fused hits (total hits = hits + fusedHits)
 	misses         uint64
+	fusedHits      uint64 // atomic: FetchPinned hits (kept separate so the fused path bumps ONE counter)
 	evictions      uint64
 	dirtyEvictions uint64
 	flushes        uint64
@@ -107,15 +131,52 @@ type shard struct {
 	grows          uint64
 }
 
-// frame bits are manipulated atomically where the shared-lock hit path
-// touches them (ref, dirty, pins); id and live change only under the
-// exclusive lock.
+// frame is one buffer slot. Frames are heap objects referenced by pointer
+// from both the ring and the frame table, so a Handle stays valid across
+// ring growth. Field discipline:
+//
+//   - id, live, obj: written only under the shard's exclusive lock; obj is
+//     additionally read under the shared lock (FetchPinned), which the
+//     exclusive writers exclude.
+//   - ref, dirty: atomic bools; mutated under either lock side.
+//   - vp: the packed generation|pins word, fully atomic. Pins change under
+//     either lock side (Fetch/Install/Touch) AND lock-free (Release); the
+//     generation half changes only under the exclusive lock, always
+//     zeroing the pin half in the same store.
 type frame struct {
 	id    uint32
 	ref   int32 // atomic bool
 	dirty int32 // atomic bool
 	live  bool
-	pins  int32 // atomic; >0 exempts the frame from eviction
+	// vp packs the frame's generation stamp (high 32 bits) and pin count
+	// (low 32 bits) into ONE atomic word. Packing is what makes Release a
+	// single lock-free CAS: the compare covers the generation and the pin
+	// count together, so a release racing an eviction/free/recycle (which
+	// bumps the generation and zeroes the pins in one store, under the
+	// exclusive lock) either lands before the store — and is harmlessly
+	// overwritten — or fails its CAS, rereads, sees a foreign generation
+	// and degrades to a no-op. A pin count >0 exempts the frame from
+	// eviction.
+	vp  uint64
+	obj any // decoded-object slot (fused node cache)
+}
+
+// vpGen and vpPins unpack a frame's vp word.
+func vpGen(vp uint64) uint32  { return uint32(vp >> 32) }
+func vpPins(vp uint64) uint32 { return uint32(vp) }
+
+// vpMake builds a vp word from a generation and a pin count.
+func vpMake(gen, pins uint32) uint64 { return uint64(gen)<<32 | uint64(pins) }
+
+// Handle identifies one residency incarnation of a frame: the frame plus
+// the generation stamp current when the handle was issued. Release(h) only
+// acts while the stamp still matches, so a handle held across a Free or
+// eviction of its page (legal — the B+-tree releases merge victims after
+// freeing them) degrades to a no-op instead of unpinning whatever page
+// reuses the frame. The zero Handle is valid and releases nothing.
+type Handle struct {
+	f   *frame
+	gen uint32
 }
 
 // New returns a single-shard pool holding at most capacity pages — the
@@ -162,7 +223,7 @@ func NewSharded(capacity, shards int) *Pool {
 	for i := range p.shards {
 		p.shards[i] = &shard{
 			cap:    per,
-			frames: make(map[uint32]int, per),
+			frames: make(map[uint32]*frame, per),
 		}
 	}
 	return p
@@ -272,17 +333,19 @@ func (p *Pool) Allocate() uint32 {
 }
 
 // FreePage returns a page id to the allocator. A freed page needs no final
-// write, so its frame is dropped clean and no write-back is issued. Pins on
-// the frame are discarded — a Free is an explicit ownership statement, and
-// a later Unpin of the freed id is a no-op.
+// write, so its frame is dropped clean, its decoded slot cleared, and no
+// write-back is issued. Pins on the frame are discarded — a Free is an
+// explicit ownership statement — and the version bump turns any
+// still-outstanding Release handle into a no-op.
 func (p *Pool) FreePage(id uint32) {
 	s := p.shard(id)
 	s.mu.Lock()
-	if idx, ok := s.frames[id]; ok {
-		f := &s.ring[idx]
+	if f, ok := s.frames[id]; ok {
+		// One store retires the incarnation: next generation, zero pins.
+		atomic.StoreUint64(&f.vp, vpMake(vpGen(atomic.LoadUint64(&f.vp))+1, 0))
 		f.live = false
-		f.dirty = 0
-		atomic.StoreInt32(&f.pins, 0)
+		f.obj = nil
+		atomic.StoreInt32(&f.dirty, 0)
 		delete(s.frames, id)
 	}
 	s.mu.Unlock()
@@ -304,23 +367,142 @@ func (p *Pool) Dirty(id uint32) { p.access(id, true, false) }
 // nest (a counter, not a flag).
 func (p *Pool) Pin(id uint32) { p.access(id, false, true) }
 
-// Unpin releases one pin. Unpinning a page that is no longer resident
-// (freed mid-operation, e.g. by a B+-tree merge) is a no-op.
+// Unpin releases one pin taken by Pin. Unpinning a page that is no longer
+// resident (freed mid-operation, e.g. by a B+-tree merge) is a no-op.
 func (p *Pool) Unpin(id uint32) {
 	s := p.shard(id)
 	s.mu.RLock()
-	if idx, ok := s.frames[id]; ok {
-		f := &s.ring[idx]
-		// Decrement without going below zero (a spurious extra Unpin is
-		// defined as a no-op, not a license to evict a pinned frame).
-		for {
-			n := atomic.LoadInt32(&f.pins)
-			if n <= 0 || atomic.CompareAndSwapInt32(&f.pins, n, n-1) {
-				break
-			}
-		}
+	if f, ok := s.frames[id]; ok {
+		unpin(f)
 	}
 	s.mu.RUnlock()
+}
+
+// unpin decrements a frame's pin count without going below zero (a
+// spurious extra release is defined as a no-op, not a license to evict a
+// pinned frame). The CAS covers the whole vp word, so it cannot cross an
+// incarnation change.
+func unpin(f *frame) {
+	for {
+		vp := atomic.LoadUint64(&f.vp)
+		if vpPins(vp) == 0 || atomic.CompareAndSwapUint64(&f.vp, vp, vp-1) {
+			break
+		}
+	}
+}
+
+// FetchPinned is the fused hot path: ONE shard read-lock acquisition that
+// looks the page up, refreshes its reference bit, pins its frame and
+// returns the decoded object installed by InstallPinned — or nil (taking
+// no pin) if the page is not resident or has no decoded object yet. On a
+// hit the returned Handle releases the pin (Release); callers keep it with
+// the object.
+//
+// Compared with the layered protocol (cache lookup + Pin + later Unpin —
+// three lock acquisitions and three map lookups per node visit), a fused
+// hit costs one acquisition and one lookup, and its Release costs an
+// acquisition with no lookup.
+func (p *Pool) FetchPinned(id uint32) (any, Handle) {
+	s := p.shard(id)
+	s.mu.RLock()
+	f, ok := s.frames[id]
+	if !ok || f.obj == nil {
+		s.mu.RUnlock()
+		return nil, Handle{}
+	}
+	if atomic.LoadInt32(&f.ref) == 0 {
+		// Check-before-store: on the hot path the bit is almost always
+		// already set, and a read leaves the cache line shared where an
+		// unconditional store would bounce it between reading cores.
+		atomic.StoreInt32(&f.ref, 1)
+	}
+	// pins++; the generation half cannot move under the shared lock, so a
+	// plain add is safe and the returned word carries the current stamp.
+	vp := atomic.AddUint64(&f.vp, 1)
+	atomic.AddUint64(&s.fusedHits, 1)
+	obj, h := f.obj, Handle{f: f, gen: vpGen(vp)}
+	s.mu.RUnlock()
+	return obj, h
+}
+
+// Release drops one pin taken by FetchPinned or InstallPinned. A handle
+// whose frame has since been freed, evicted or recycled (generation
+// mismatch) releases nothing — the pin it balanced was already discarded
+// with the frame. The zero Handle is a no-op. Safe for concurrent use.
+//
+// Release is LOCK-FREE: one CAS on the frame's packed generation|pins
+// word. The compare spans both halves, so it can never decrement across
+// an incarnation change (see frame.vp).
+func (p *Pool) Release(h Handle) {
+	if h.f == nil {
+		return
+	}
+	for {
+		vp := atomic.LoadUint64(&h.f.vp)
+		if vpGen(vp) != h.gen || vpPins(vp) == 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&h.f.vp, vp, vp-1) {
+			return
+		}
+	}
+}
+
+// InstallPinned publishes obj as page id's decoded object and returns it
+// pinned: the slow path behind a FetchPinned miss. The page is faulted in
+// (evicting if full) or found resident (a fresh Allocate, a legacy
+// access); either way bind runs under the shard's exclusive lock with the
+// frame's Handle, stores the object's back-reference BEFORE any fused
+// reader can observe the object, and returns the object to install. If a
+// racing installer won, bind is not called and the resident object is
+// adopted (and pinned) instead — the first install wins, exactly like the
+// layered cache's insert-or-adopt.
+//
+// dirty marks the page dirty (a re-admitted dirty eviction must not lose
+// its dirtiness). The returned Handle matches the one bind received (or
+// the winner's, when adopting).
+func (p *Pool) InstallPinned(id uint32, dirty bool, bind func(Handle) any) (any, Handle) {
+	s := p.shard(id)
+	s.mu.Lock()
+	obj, h := s.install(p, id, dirty, true, bind)
+	s.mu.Unlock()
+	return obj, h
+}
+
+// Install is InstallPinned without the pin: it publishes the object and
+// returns immediately (pagedb's node allocation uses it — the B+-tree core
+// Fetches a freshly allocated id right away, and THAT fetch takes the
+// pin). The same first-install-wins adoption applies.
+func (p *Pool) Install(id uint32, dirty bool, bind func(Handle) any) any {
+	s := p.shard(id)
+	s.mu.Lock()
+	obj, _ := s.install(p, id, dirty, false, bind)
+	s.mu.Unlock()
+	return obj
+}
+
+// install is the shared body of Install/InstallPinned. Caller holds s.mu
+// exclusively.
+func (s *shard) install(p *Pool, id uint32, dirty, pin bool, bind func(Handle) any) (any, Handle) {
+	f, ok := s.frames[id]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+		f = s.insert(p, id, dirty, false)
+	}
+	h := Handle{f: f, gen: vpGen(atomic.LoadUint64(&f.vp))}
+	if f.obj == nil {
+		f.obj = bind(h)
+	}
+	atomic.StoreInt32(&f.ref, 1)
+	if dirty {
+		atomic.StoreInt32(&f.dirty, 1)
+	}
+	if pin {
+		atomic.AddUint64(&f.vp, 1)
+	}
+	return f.obj, h
 }
 
 func (p *Pool) access(id uint32, dirty, pin bool) {
@@ -329,8 +511,7 @@ func (p *Pool) access(id uint32, dirty, pin bool) {
 	// stable and the bits are atomics, so concurrent hits on one shard
 	// don't serialize.
 	s.mu.RLock()
-	if idx, ok := s.frames[id]; ok {
-		f := &s.ring[idx]
+	if f, ok := s.frames[id]; ok {
 		s.touch(f, dirty, pin)
 		atomic.AddUint64(&s.hits, 1)
 		s.mu.RUnlock()
@@ -338,9 +519,8 @@ func (p *Pool) access(id uint32, dirty, pin bool) {
 	}
 	s.mu.RUnlock()
 	s.mu.Lock()
-	if idx, ok := s.frames[id]; ok {
+	if f, ok := s.frames[id]; ok {
 		// Another goroutine faulted the page between our two lock takes.
-		f := &s.ring[idx]
 		s.touch(f, dirty, pin)
 		s.hits++
 		s.mu.Unlock()
@@ -359,7 +539,7 @@ func (s *shard) touch(f *frame, dirty, pin bool) {
 		atomic.StoreInt32(&f.dirty, 1)
 	}
 	if pin {
-		atomic.AddInt32(&f.pins, 1)
+		atomic.AddUint64(&f.vp, 1)
 	}
 }
 
@@ -376,20 +556,21 @@ func (p *Pool) IsResident(id uint32) bool {
 func (p *Pool) IsDirty(id uint32) bool {
 	s := p.shard(id)
 	s.mu.RLock()
-	idx, ok := s.frames[id]
-	d := ok && atomic.LoadInt32(&s.ring[idx].dirty) != 0
+	f, ok := s.frames[id]
+	d := ok && atomic.LoadInt32(&f.dirty) != 0
 	s.mu.RUnlock()
 	return d
 }
 
 // insert places a page into the shard, evicting a victim when the shard is
-// at capacity. Caller holds s.mu exclusively, so frames may be read and
-// written plainly — no hit-path reader is running.
-func (s *shard) insert(p *Pool, id uint32, dirty, pin bool) {
+// at capacity, and returns its frame. Caller holds s.mu exclusively; pins
+// are still loaded atomically (Release decrements them without any lock).
+func (s *shard) insert(p *Pool, id uint32, dirty, pin bool) *frame {
 	if len(s.ring) < s.cap {
-		s.ring = append(s.ring, frame{id: id, ref: 1, dirty: b2i(dirty), live: true, pins: pinCount(pin)})
-		s.frames[id] = len(s.ring) - 1
-		return
+		f := &frame{id: id, ref: 1, dirty: b2i(dirty), live: true, vp: vpMake(0, pinCount(pin))}
+		s.ring = append(s.ring, f)
+		s.frames[id] = f
+		return f
 	}
 	// CLOCK sweep: give referenced frames a second chance, skip pinned
 	// frames entirely; dead frames (freed pages) are taken immediately. If
@@ -397,26 +578,26 @@ func (s *shard) insert(p *Pool, id uint32, dirty, pin bool) {
 	// pool must not fail and must not reclaim a pinned frame.
 	steps, limit := 0, 2*len(s.ring)
 	for {
-		f := &s.ring[s.hand]
+		f := s.ring[s.hand]
 		if !f.live {
 			break
 		}
-		if f.pins > 0 {
+		if vpPins(atomic.LoadUint64(&f.vp)) > 0 {
 			s.hand = (s.hand + 1) % len(s.ring)
 			if steps++; steps >= limit {
 				s.grows++
-				s.ring = append(s.ring, frame{})
+				s.ring = append(s.ring, &frame{})
 				s.hand = len(s.ring) - 1
 				break
 			}
 			continue
 		}
-		if f.ref != 0 {
-			f.ref = 0
+		if atomic.LoadInt32(&f.ref) != 0 {
+			atomic.StoreInt32(&f.ref, 0)
 			s.hand = (s.hand + 1) % len(s.ring)
 			if steps++; steps >= limit {
 				s.grows++
-				s.ring = append(s.ring, frame{})
+				s.ring = append(s.ring, &frame{})
 				s.hand = len(s.ring) - 1
 				break
 			}
@@ -424,35 +605,49 @@ func (s *shard) insert(p *Pool, id uint32, dirty, pin bool) {
 		}
 		break
 	}
-	victim := &s.ring[s.hand]
+	victim := s.ring[s.hand]
 	if victim.live {
+		// The frame changes identity: advance the generation (zeroing the
+		// pins in the same store) FIRST so concurrent lock-free Releases of
+		// the outgoing page turn into no-ops, then unpublish the decoded
+		// object before handing it to the callback.
+		atomic.StoreUint64(&victim.vp, vpMake(vpGen(atomic.LoadUint64(&victim.vp))+1, 0))
+		obj := victim.obj
+		victim.obj = nil
 		s.evictions++
-		if victim.dirty != 0 {
+		vdirty := atomic.LoadInt32(&victim.dirty) != 0
+		if vdirty {
 			s.dirtyEvictions++
 		}
 		if p.writeBack != nil {
 			s.writeBacks++
-			if err := p.writeBack(victim.id, victim.dirty != 0, true); err != nil {
+			if err := p.writeBack(victim.id, obj, vdirty, true); err != nil {
 				s.writeBackErrs++
 				p.noteErr(fmt.Errorf("bufferpool: write-back of evicted page %d: %w", victim.id, err))
 			}
-		} else if victim.dirty != 0 {
+		} else if vdirty {
 			p.tmu.Lock()
 			p.writes = append(p.writes, victim.id)
 			p.tmu.Unlock()
 		}
 		delete(s.frames, victim.id)
+	} else if victim.obj != nil {
+		// A recycled dead frame (freed page, or a grown slot) never carries
+		// its old object forward. (Its generation already advanced when the
+		// page was freed, discarding the pins with it.)
+		victim.obj = nil
 	}
 	victim.id = id
-	victim.ref = 1
-	victim.dirty = b2i(dirty)
+	atomic.StoreInt32(&victim.ref, 1)
+	atomic.StoreInt32(&victim.dirty, b2i(dirty))
 	victim.live = true
-	victim.pins = pinCount(pin)
-	s.frames[id] = s.hand
+	atomic.StoreUint64(&victim.vp, vpMake(vpGen(atomic.LoadUint64(&victim.vp)), pinCount(pin)))
+	s.frames[id] = victim
 	s.hand = (s.hand + 1) % len(s.ring)
+	return victim
 }
 
-func pinCount(pin bool) int32 {
+func pinCount(pin bool) uint32 {
 	if pin {
 		return 1
 	}
@@ -471,20 +666,20 @@ func b2i(b bool) int32 {
 // frame order, which approximates the page-id ordered background writes of
 // a checkpointer. With a write-back callback, a page whose callback fails
 // STAYS dirty and the first such error is returned (and retained in Err);
-// the sweep still visits every dirty page of every shard.
+// the sweep still visits every dirty page of every shard. The callback
+// receives each page's decoded object (nil when none is installed).
 func (p *Pool) FlushDirty() (int, error) {
 	n := 0
 	var firstErr error
 	for _, s := range p.shards {
 		s.mu.Lock()
-		for i := range s.ring {
-			f := &s.ring[i]
-			if !f.live || f.dirty == 0 {
+		for _, f := range s.ring {
+			if !f.live || atomic.LoadInt32(&f.dirty) == 0 {
 				continue
 			}
 			if p.writeBack != nil {
 				s.writeBacks++
-				if err := p.writeBack(f.id, true, false); err != nil {
+				if err := p.writeBack(f.id, f.obj, true, false); err != nil {
 					s.writeBackErrs++
 					p.noteErr(fmt.Errorf("bufferpool: flush of page %d: %w", f.id, err))
 					if firstErr == nil {
@@ -497,7 +692,7 @@ func (p *Pool) FlushDirty() (int, error) {
 				p.writes = append(p.writes, f.id)
 				p.tmu.Unlock()
 			}
-			f.dirty = 0
+			atomic.StoreInt32(&f.dirty, 0)
 			s.flushes++
 			n++
 		}
@@ -539,8 +734,8 @@ func (p *Pool) Pinned() int {
 	n := 0
 	for _, s := range p.shards {
 		s.mu.RLock()
-		for i := range s.ring {
-			if s.ring[i].live && atomic.LoadInt32(&s.ring[i].pins) > 0 {
+		for _, f := range s.ring {
+			if f.live && vpPins(atomic.LoadUint64(&f.vp)) > 0 {
 				n++
 			}
 		}
@@ -551,9 +746,12 @@ func (p *Pool) Pinned() int {
 
 // Stats summarizes pool activity across all shards.
 type Stats struct {
-	Capacity       int
-	Shards         int
-	Hits, Misses   uint64
+	Capacity     int
+	Shards       int
+	Hits, Misses uint64
+	// FusedHits counts the hits served by FetchPinned — the single-
+	// acquisition fused path (a subset of Hits).
+	FusedHits      uint64
 	Evictions      uint64
 	DirtyEvictions uint64
 	Flushes        uint64
@@ -574,6 +772,7 @@ type ShardStats struct {
 	Pinned    int
 	Hits      uint64
 	Misses    uint64
+	FusedHits uint64
 	Evictions uint64
 }
 
@@ -582,8 +781,9 @@ func (p *Pool) Stats() Stats {
 	st := Stats{Capacity: p.capacity, Shards: len(p.shards)}
 	for _, s := range p.shards {
 		s.mu.Lock()
-		st.Hits += s.hits
+		st.Hits += s.hits + s.fusedHits
 		st.Misses += s.misses
+		st.FusedHits += s.fusedHits
 		st.Evictions += s.evictions
 		st.DirtyEvictions += s.dirtyEvictions
 		st.Flushes += s.flushes
@@ -612,19 +812,19 @@ func (p *Pool) ShardStat(i int) ShardStats {
 func (s *shard) snapshot() ShardStats {
 	ss := ShardStats{
 		Residents: len(s.frames),
-		Hits:      s.hits,
+		Hits:      s.hits + s.fusedHits,
 		Misses:    s.misses,
+		FusedHits: s.fusedHits,
 		Evictions: s.evictions,
 	}
-	for j := range s.ring {
-		f := &s.ring[j]
+	for _, f := range s.ring {
 		if !f.live {
 			continue
 		}
-		if f.dirty != 0 {
+		if atomic.LoadInt32(&f.dirty) != 0 {
 			ss.Dirty++
 		}
-		if f.pins > 0 {
+		if vpPins(atomic.LoadUint64(&f.vp)) > 0 {
 			ss.Pinned++
 		}
 	}

@@ -153,7 +153,7 @@ func TestWriteBackCallback(t *testing.T) {
 		dirty, evicted bool
 	}
 	var calls []wb
-	p.SetWriteBack(func(id uint32, dirty, evicted bool) error {
+	p.SetWriteBack(func(id uint32, obj any, dirty, evicted bool) error {
 		calls = append(calls, wb{id, dirty, evicted})
 		return nil
 	})
@@ -191,7 +191,7 @@ func TestWriteBackFailureObservable(t *testing.T) {
 	p := New(2)
 	fail := errors.New("disk on fire")
 	failing := true
-	p.SetWriteBack(func(id uint32, dirty, evicted bool) error {
+	p.SetWriteBack(func(id uint32, obj any, dirty, evicted bool) error {
 		if dirty && failing {
 			return fail
 		}

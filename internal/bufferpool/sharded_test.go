@@ -127,7 +127,7 @@ func TestErrStickyAcrossShards(t *testing.T) {
 		t.Fatalf("Shards() = %d, want 4", p.Shards())
 	}
 	boom := errors.New("backing store unplugged")
-	p.SetWriteBack(func(id uint32, dirty, evicted bool) error {
+	p.SetWriteBack(func(id uint32, obj any, dirty, evicted bool) error {
 		if evicted && dirty {
 			return boom
 		}
@@ -232,9 +232,9 @@ func TestConcurrentAccess(t *testing.T) {
 	// Every frame table entry points at a live frame holding its id.
 	for i, s := range p.shards {
 		s.mu.Lock()
-		for id, idx := range s.frames {
-			if f := s.ring[idx]; !f.live || f.id != id {
-				t.Errorf("shard %d: frames[%d] -> ring[%d] = %+v", i, id, idx, f)
+		for id, f := range s.frames {
+			if !f.live || f.id != id {
+				t.Errorf("shard %d: frames[%d] = %+v", i, id, f)
 			}
 		}
 		s.mu.Unlock()

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/obs"
 )
@@ -160,7 +161,17 @@ func compareRun(key string, o, n *AlgReport, opts CompareOptions) []string {
 	if o.Metrics == nil || n.Metrics == nil {
 		return regs
 	}
-	for _, name := range latencyGated {
+	gated := latencyGated
+	// The readpath experiment's per-operation histograms are named
+	// dynamically (readpath.<op>.<N>r.ns), so gate them by prefix: every
+	// one the baseline recorded is compared.
+	for name := range o.Metrics.Histograms {
+		if strings.HasPrefix(name, "readpath.") {
+			gated = append(gated, name)
+		}
+	}
+	sort.Strings(gated[len(latencyGated):])
+	for _, name := range gated {
 		oh, nh := o.Metrics.Histograms[name], n.Metrics.Histograms[name]
 		if oh.Count == 0 || nh.Count == 0 {
 			continue // absence is the instrumentation gate's business
@@ -170,6 +181,13 @@ func compareRun(key string, o, n *AlgReport, opts CompareOptions) []string {
 			old, new float64
 		}{{"p50", oh.P50, nh.P50}, {"p99", oh.P99, nh.P99}} {
 			if q.old < MinLatencyNanos {
+				continue
+			}
+			// Readpath tails sit at microsecond scale where a GC pause or
+			// scheduler hiccup flips a whole power-of-two bucket between
+			// same-build runs; gate those series on p50 (plus the throughput
+			// gate above) and leave the tail to the validation-mode checks.
+			if q.label == "p99" && strings.HasPrefix(name, "readpath.") {
 				continue
 			}
 			if q.new > q.old*TolLatencyRatio {

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pagedb"
+	"repro/internal/store"
+)
+
+// ReadPath measures the engine's fused read path — the hot loop this repo's
+// perf work targets: one sharded-pool acquisition per tree level
+// (bufferpool.FetchPinned) and one lock-free Release on the way out. It
+// runs point reads (Get and the allocation-free GetInto) and 100-entry
+// Scans, each single-threaded and with GOMAXPROCS parallel readers, over a
+// fully cached tree: what is measured is the traversal itself, not store
+// I/O. Per-op latencies land both in the table (p50/p99/p99.9) and, as
+// readpath.<op>.ns histograms, in the recorded metrics snapshot, so the
+// committed BENCH_readpath_*.json gives CI a regression baseline for the
+// exact path BenchmarkPageDBGet exercises.
+//
+// This is a systems extension beyond the paper's figures; run it with
+// `lsbench -exp readpath`.
+func ReadPath(scale Scale, log io.Writer) *Table {
+	var keys, pointOps, scanOps int
+	switch scale {
+	case ScaleSmall:
+		keys, pointOps, scanOps = 50_000, 200_000, 5_000
+	case ScalePaper:
+		keys, pointOps, scanOps = 500_000, 2_000_000, 50_000
+	default: // medium
+		keys, pointOps, scanOps = 100_000, 1_000_000, 20_000
+	}
+	par := runtime.GOMAXPROCS(0)
+	t := &Table{
+		Name: "readpath",
+		Title: fmt.Sprintf("Fused read path on the durable B+-tree engine, fully cached "+
+			"(%d keys × 64 B, %d point reads, %d scans × 100 entries, parallel = %d readers)",
+			keys, pointOps, scanOps, par),
+		Header: []string{"operation", "readers", "ops/s", "p50 (ns)", "p99 (ns)", "p99.9 (ns)",
+			"fused hit share", "pins leaked"},
+	}
+
+	db, err := pagedb.Open(pagedb.Options{
+		Store: store.Options{
+			PageSize:     4096,
+			SegmentPages: 128,
+			MaxSegments:  4096,
+		},
+		CachePages: 1 << 16, // everything stays resident: the pool never faults mid-run
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: readpath open: %v", err))
+	}
+	defer db.Close()
+	publishLive(db.Obs())
+	tr, err := db.Tree("readpath")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: readpath tree: %v", err))
+	}
+	val := make([]byte, 64)
+	for k := uint64(0); k < uint64(keys); k++ {
+		if err := tr.Put(k, val); err != nil {
+			panic(fmt.Sprintf("experiments: readpath load: %v", err))
+		}
+	}
+	if err := db.Commit(); err != nil {
+		panic(fmt.Sprintf("experiments: readpath commit: %v", err))
+	}
+	// Warm the cache: after one pass every node is resident and decoded.
+	var warm []byte
+	for k := uint64(0); k < uint64(keys); k++ {
+		if warm, _, err = tr.GetInto(k, warm); err != nil {
+			panic(fmt.Sprintf("experiments: readpath warm: %v", err))
+		}
+	}
+
+	type op struct {
+		name string
+		ops  int
+		run  func(worker, nops int, lat []time.Duration)
+	}
+	ops := []op{
+		{"get", pointOps, func(worker, nops int, lat []time.Duration) {
+			k := uint64(worker+1) * 7919 // decorrelate parallel readers
+			for i := range lat {
+				t0 := time.Now()
+				if _, ok, err := tr.Get(k % uint64(keys)); err != nil || !ok {
+					panic(fmt.Sprintf("experiments: readpath get: (%v, %v)", ok, err))
+				}
+				lat[i] = time.Since(t0)
+				k++
+			}
+		}},
+		{"getinto", pointOps, func(worker, nops int, lat []time.Duration) {
+			k := uint64(worker+1) * 7919
+			var buf []byte
+			for i := range lat {
+				t0 := time.Now()
+				var ok bool
+				var err error
+				if buf, ok, err = tr.GetInto(k%uint64(keys), buf); err != nil || !ok {
+					panic(fmt.Sprintf("experiments: readpath getinto: (%v, %v)", ok, err))
+				}
+				lat[i] = time.Since(t0)
+				k++
+			}
+		}},
+		{"scan100", scanOps, func(worker, nops int, lat []time.Duration) {
+			k := uint64(worker+1) * 7919
+			for i := range lat {
+				start := k % uint64(keys-200)
+				t0 := time.Now()
+				n := 0
+				if err := tr.Scan(start, ^uint64(0), func(uint64, []byte) bool {
+					n++
+					return n < 100
+				}); err != nil {
+					panic(fmt.Sprintf("experiments: readpath scan: %v", err))
+				}
+				lat[i] = time.Since(t0)
+				k += 101
+			}
+		}},
+	}
+
+	variants := []int{1}
+	if par > 1 {
+		variants = append(variants, par)
+	} // single-core host: a "parallel" row would duplicate the 1-reader one
+	for _, o := range ops {
+		for _, readers := range variants {
+			progress(log, "readpath: %s × %d readers", o.name, readers)
+			row, rep := readPathRun(db, o.name, readers, o.ops, o.run)
+			t.Rows = append(t.Rows, row)
+			recordRun(rep)
+		}
+	}
+	return t
+}
+
+// readPathRun executes one operation variant and reports its row plus the
+// AlgReport carrying the latency histogram (readpath.<op>.ns in Metrics).
+func readPathRun(db *pagedb.DB, name string, readers, totalOps int,
+	run func(worker, nops int, lat []time.Duration)) ([]string, AlgReport) {
+	before := db.Stats()
+	h := db.Obs().Histogram(fmt.Sprintf("readpath.%s.%dr.ns", name, readers))
+	perWorker := totalOps / readers
+	lats := make([][]time.Duration, readers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, perWorker)
+			run(w, perWorker, lat)
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	for _, d := range all {
+		h.Record(uint64(d))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 { return float64(all[int(p*float64(len(all)-1))]) }
+	if err := db.CheckPinBalance(); err != nil {
+		panic(fmt.Sprintf("experiments: readpath %s: %v", name, err))
+	}
+	after := db.Stats()
+	hits := after.Pool.Hits - before.Pool.Hits
+	fused := after.Pool.FusedHits - before.Pool.FusedHits
+	fusedShare := 0.0
+	if hits > 0 {
+		fusedShare = float64(fused) / float64(hits)
+	}
+	opsPerSec := float64(len(all)) / elapsed.Seconds()
+	label := fmt.Sprintf("%s (%d readers)", name, readers)
+	rep := AlgReport{
+		Engine:        "pagedb",
+		Algorithm:     label,
+		ThroughputOps: opsPerSec,
+		Metrics:       snapshotOf(db.Obs()),
+	}
+	row := []string{
+		name,
+		fmt.Sprintf("%d", readers),
+		fmt.Sprintf("%.0f", opsPerSec),
+		fmt.Sprintf("%.0f", pct(0.50)),
+		fmt.Sprintf("%.0f", pct(0.99)),
+		fmt.Sprintf("%.0f", pct(0.999)),
+		f3(fusedShare),
+		"0", // CheckPinBalance above would have panicked otherwise
+	}
+	return row, rep
+}

@@ -72,6 +72,36 @@ func BenchmarkTreeGet(b *testing.B) {
 	}
 }
 
+// BenchmarkPageDBGet is the single-thread point-read baseline over the
+// fused read path: one FetchPinned (shard lookup + pin) per tree level,
+// one lock-free Release each on the way out. GetInto reuses the value
+// buffer, so a warm read allocates nothing.
+func BenchmarkPageDBGet(b *testing.B) {
+	db := benchDB(b)
+	tr, err := db.Tree("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make([]byte, 64)
+	for i := uint64(0); i < 100000; i++ {
+		if err := tr.Put(i, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		buf, ok, err = tr.GetInto(uint64(i)%100000, buf)
+		if err != nil || !ok {
+			b.Fatalf("GetInto = (%v, %v)", ok, err)
+		}
+	}
+}
+
 // BenchmarkPageDBGetParallel drives the concurrent read path: RunParallel
 // readers share the DB's read guard, so they only contend on pool/node
 // shard mutexes. Each goroutine reuses one GetInto buffer, so a warm

@@ -190,8 +190,8 @@ func TestCommitFailsFastOnEvictionError(t *testing.T) {
 	failing := true
 	// Wrap the DB's own callback: bookkeeping still happens (no data is
 	// lost), but the pool sees every dirty eviction fail.
-	db.pool.SetWriteBack(func(id uint32, dirty, evicted bool) error {
-		err := db.writeBack(id, dirty, evicted)
+	db.pool.SetWriteBack(func(id uint32, obj any, dirty, evicted bool) error {
+		err := db.writeBack(id, obj, dirty, evicted)
 		if failing && evicted && dirty {
 			shardsHit[db.pool.ShardOf(id)] = true
 			return boom

@@ -5,16 +5,21 @@ import (
 	"time"
 
 	"repro/internal/btree"
+	"repro/internal/bufferpool"
 )
 
-// This engine holds its decoded B+-tree nodes as btree.Node values — the
-// unified core's node form — in the sharded node cache while the buffer
-// pool considers them resident (dirty-evicted nodes linger until a writer
-// sweeps them); their durable form is the btree.NodePage image. The tree
-// ALGORITHM lives entirely in internal/btree's Core; this file supplies the
-// store side: the fallible NodeStore that faults nodes through the pool and
-// the log-structured store, implementing the Fetch/Release pin protocol so
-// concurrent readers can fault and evict against each other safely.
+// This engine holds its decoded B+-tree nodes INSIDE the buffer pool's
+// frames (the fused decoded-object slot): residency, replacement, pinning
+// and the decoded node live in one place, so the hot read path is a single
+// shard acquisition per tree level (bufferpool.FetchPinned) instead of the
+// separate cache-lookup/Pin/Unpin round trips a layered node cache costs.
+// A node's durable form is the btree.NodePage image; a dirty-evicted node
+// parks in the eviction queue (db.evq) until a writer sweeps it into the
+// pending stage. The tree ALGORITHM lives entirely in internal/btree's
+// Core; this file supplies the store side: the fallible NodeStore that
+// faults nodes through the pool and the log-structured store, implementing
+// the fused Fetch/Release pin protocol so concurrent readers can fault and
+// evict against each other safely.
 
 // budget is the per-node byte budget: the page minus the image header.
 func (db *DB) budget() int { return btree.PageLayout.Budget(db.pageSize) }
@@ -28,21 +33,27 @@ func encodeNode(pageSize int, n *btree.Node) ([]byte, error) {
 	return img, nil
 }
 
-// nodeStore adapts the DB's node cache to btree.NodeStore: the unified tree
-// core runs its algorithm against this accessor. Every method runs with
-// db.mu held — exclusively for mutations, shared for reads; the pin taken
-// by Fetch (and released by Release) is what keeps a node's frame from
-// being evicted by a CONCURRENT reader's fault in between.
+// nodeStore adapts the DB's fused node cache to btree.NodeStore: the
+// unified tree core runs its algorithm against this accessor. Every method
+// runs with db.mu held — exclusively for mutations, shared for reads; the
+// pin taken by Fetch (and dropped by Release via the node's frame handle)
+// is what keeps a node's frame from being evicted by a CONCURRENT reader's
+// fault in between.
 type nodeStore struct{ db *DB }
 
 func (s nodeStore) Alloc() (uint32, error) { return s.db.allocNode().ID, nil }
 
 func (s nodeStore) Fetch(id uint32) (*btree.Node, error) { return s.db.node(id) }
 
-func (s nodeStore) Release(id uint32) { s.db.pool.Unpin(id) }
+// Release drops the pin through the node's frame handle — no map lookup.
+// A handle whose frame was freed or recycled since the Fetch releases
+// nothing (version mismatch), which is exactly the contract's
+// release-after-Free no-op.
+func (s nodeStore) Release(n *btree.Node) { s.db.pool.Release(n.Pin) }
 
-// MarkDirty re-admits a page whose frame was reclaimed mid-operation, so
-// the mutation is never lost.
+// MarkDirty re-arms the dirty bit on a node's resident frame (mutations
+// only happen under db.mu's write side, where the target is pinned and
+// therefore resident).
 func (s nodeStore) MarkDirty(id uint32) { s.db.pool.Dirty(id) }
 
 func (s nodeStore) Free(id uint32) error {
@@ -51,26 +62,51 @@ func (s nodeStore) Free(id uint32) error {
 }
 
 // node returns the decoded node for a page id PINNED, faulting it in from
-// the pending stage or the store on a cache miss. Concurrency-safe among
-// readers: the cache lookup takes only the node shard's read lock, the pin
-// exempts the frame from eviction until the core Releases it, and if two
-// readers race to fault the same page the first insert wins (the images are
-// identical — a dropped node always has a current durable image).
+// the eviction queue, the pending stage or the store on a miss.
+//
+// The hot path is ONE pool-shard acquisition: FetchPinned returns the
+// frame's decoded node already pinned. The miss path serializes on a
+// per-shard fault mutex so that when N readers miss the same page
+// together, exactly one pays the ReadPage+decode and the rest adopt its
+// install — the avoided duplicate faults are counted (Stats.
+// DupFaultsAvoided, pagedb.node.refaults).
 func (db *DB) node(id uint32) (*btree.Node, error) {
-	sh := db.nshard(id)
-	sh.mu.RLock()
-	n := sh.nodes[id]
-	sh.mu.RUnlock()
-	if n != nil {
-		db.pool.Pin(id)
-		return n, nil
+	// The release handle is cached on the node itself (n.Pin, bound at
+	// install), so the hot path discards FetchPinned's copy.
+	if obj, _ := db.pool.FetchPinned(id); obj != nil {
+		return obj.(*btree.Node), nil
+	}
+	mu := &db.faultMu[db.pool.ShardOf(id)]
+	mu.Lock()
+	defer mu.Unlock()
+	if obj, _ := db.pool.FetchPinned(id); obj != nil {
+		// Another reader faulted the page while we waited: a duplicate
+		// ReadPage+decode avoided.
+		db.dupFaults.Add(1)
+		return obj.(*btree.Node), nil
+	}
+	// A dirty-evicted node holds the freshest state — fresher than any
+	// durable or staged image — and must be re-admitted DIRTY so the next
+	// sweep or flush still persists it.
+	db.evmu.Lock()
+	n, queued := db.evq[id]
+	if queued {
+		delete(db.evq, id)
+	}
+	db.evmu.Unlock()
+	if queued {
+		obj, _ := db.pool.InstallPinned(id, true, func(h bufferpool.Handle) any {
+			n.Pin = h
+			return n
+		})
+		return obj.(*btree.Node), nil
 	}
 	var img []byte
 	pooled := false
 	if p, ok := db.pending[id]; ok {
-		// The freshest version of an evicted dirty page lives in the
-		// pending stage until the next commit, not in the store. (Readers
-		// never mutate pending; writers hold db.mu exclusively to do so.)
+		// The freshest version of a swept dirty page lives in the pending
+		// stage until the next commit, not in the store. (Readers never
+		// mutate pending; writers hold db.mu exclusively to do so.)
 		img = p
 	} else {
 		img = db.imgPool.Get().([]byte)
@@ -91,15 +127,13 @@ func (db *DB) node(id uint32) (*btree.Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pagedb: decoding page %d: %w", id, err)
 	}
-	sh.mu.Lock()
-	if cur, ok := sh.nodes[id]; ok {
-		n = cur // another reader faulted it first; adopt the canonical copy
-	} else {
-		sh.nodes[id] = n
-	}
-	sh.mu.Unlock()
-	db.pool.Pin(id)
-	return n, nil
+	// Bind runs under the frame's shard lock BEFORE the node is published,
+	// so no fused reader can observe the node without its handle set.
+	obj, _ := db.pool.InstallPinned(id, false, func(h bufferpool.Handle) any {
+		n.Pin = h
+		return n
+	})
+	return obj.(*btree.Node), nil
 }
 
 // allocNode creates a fresh blank node on a newly allocated page id
@@ -118,20 +152,20 @@ func (db *DB) allocNode() *btree.Node {
 	delete(db.evq, id)
 	db.evmu.Unlock()
 	n := &btree.Node{ID: id}
-	sh := db.nshard(id)
-	sh.mu.Lock()
-	sh.nodes[id] = n
-	sh.mu.Unlock()
+	db.pool.Install(id, true, func(h bufferpool.Handle) any {
+		n.Pin = h
+		return n
+	})
 	db.metaDirty = true
 	return n
 }
 
-// freeNode releases a page: its decoded node and any staged image are
-// dropped (pins included — Free is an ownership statement), and the next
+// freeNode releases a page: its frame (decoded node included) and any
+// staged image are dropped — pins too, Free is an ownership statement; the
+// version bump turns outstanding Releases into no-ops — and the next
 // commit writes a store tombstone if the page had ever been committed.
 // Caller holds db.mu exclusively.
 func (db *DB) freeNode(id uint32) {
-	db.dropNode(id)
 	delete(db.pending, id)
 	delete(db.encodeFailed, id) // a freed page no longer needs persisting
 	db.evmu.Lock()

@@ -9,19 +9,27 @@
 // # Architecture
 //
 //	named B+-trees (uint64 keys, []byte values)
-//	    └── node cache: decoded nodes, CLOCK residency via bufferpool.Pool
+//	    └── fused node cache: decoded nodes live IN the buffer pool's
+//	        frames (bufferpool fused object slot), CLOCK residency
 //	          ├── fault: miss -> Store.ReadPage -> btree.DecodePage
-//	          └── write-back: dirty eviction -> staged page image
+//	          └── write-back: dirty eviction parks the node (evq) ->
+//	              sweep encodes it into the staged page images
 //	                └── Commit: one atomic store.Batch (pages + frees + meta)
 //	                      └── internal/store: log-structured placement,
 //	                          routed streams, background cleaning, recovery
 //
 // Every tree node occupies exactly one store page (btree.NodePage images).
-// The buffer pool bounds how many decoded nodes stay in memory: a miss
-// faults the page in from the store, a dirty eviction encodes the node and
-// stages its image for the next commit (the pool's write-back callback), so
-// between commits the freshest version of an evicted page lives in the
-// stage, not the store.
+// There is no separate decoded-node map: a buffer pool frame carries the
+// decoded node in its fused object slot, so residency, replacement,
+// pinning and the node itself live in one place and the hot read path is a
+// single sharded-pool acquisition per tree level (FetchPinned). The pool
+// bounds how many decoded nodes stay in memory: a miss faults the page in
+// from the store under a per-shard fault mutex (one ReadPage+decode no
+// matter how many readers miss together); a dirty eviction hands the node
+// to the write-back callback, which parks it in the eviction queue until a
+// writer sweeps it — encoding it into the pending stage — so between
+// commits the freshest version of an evicted page lives in the queue or
+// the stage, never only in the store.
 //
 // # Commit and crash atomicity
 //
@@ -44,13 +52,18 @@
 // side), so any number of readers run concurrently — faulting nodes in,
 // evicting unpinned frames, updating the sharded buffer pool — and block
 // only while a mutation or the commit install window holds the write side.
-// The decoded-node cache is sharded alongside the buffer pool, every node
-// access is pinned (btree's Fetch/Release protocol) so eviction can never
-// reclaim a node mid-read, and nodes are immutable while the read guard is
-// held, so readers may hold node pointers without torn reads. Writers
-// (Put, Delete, Commit, tree DDL, Close) serialize on the write side
-// exactly as the old single-mutex engine did. Scan callbacks must not call
-// back into the DB.
+// Every node access is pinned through its frame (btree's fused
+// Fetch/Release protocol: FetchPinned stamps the node's Pin handle) so
+// eviction can never reclaim a node mid-read, and nodes are immutable
+// while the read guard is held, so readers may hold node pointers without
+// torn reads. View transactions go one step further: they hold the read
+// guard only PER READ, not across the whole view, and key consistency off
+// the epoch counter — the epoch advances only under the write side, so a
+// view whose epoch is unchanged at each read saw one committed state, and
+// a view that observes a bump retries or falls back to a guard-held run.
+// Writers (Put, Delete, Commit, tree DDL, Close) serialize on the write
+// side exactly as the old single-mutex engine did. Scan callbacks must not
+// call back into the DB.
 package pagedb
 
 import (
@@ -134,11 +147,12 @@ type DB struct {
 	pool     *bufferpool.Pool
 	pageSize int
 
-	// nshards is the decoded-node cache, sharded by the pool's own page-id
-	// hash so concurrent readers faulting different pages rarely contend.
-	// Every resident page has its node here; a dirty-evicted page KEEPS its
-	// node (the freshest state) until a writer sweeps it into pending.
-	nshards []nodeShard
+	// faultMu serializes the fault path per pool shard: when concurrent
+	// readers miss the same page, one pays the ReadPage+decode and the rest
+	// adopt its install (the decoded nodes live in the pool's fused frames,
+	// so there is no separate node cache to race on). Indexed by
+	// pool.ShardOf.
+	faultMu []sync.Mutex
 
 	pending map[uint32][]byte // dirty images evicted since the last commit (writers mutate; readers only read)
 	freed   map[uint32]bool   // pages freed since the last commit
@@ -148,11 +162,14 @@ type DB struct {
 	// image never made it to the store. Writer-side only.
 	encodeFailed map[uint32]error
 
-	// evq holds pages dirty-evicted since the last sweep. Readers append to
-	// it (their faults can evict a writer's dirty page), so it has its own
-	// mutex; only writers drain it.
+	// evq parks the decoded nodes of pages dirty-evicted since the last
+	// sweep — the FRESHEST state of those pages, fresher than any durable
+	// or staged image. Readers append to it (their faults can evict a
+	// writer's dirty page) and re-admit from it (a fault on a queued page
+	// adopts the parked node, dirty), so it has its own mutex; writers
+	// drain it (sweepEvictions).
 	evmu sync.Mutex
-	evq  map[uint32]struct{}
+	evq  map[uint32]*btree.Node
 
 	stage map[uint32][]byte // commit-in-progress image set (FlushDirty target)
 	trees map[string]*Tree  // named-tree registry
@@ -184,6 +201,7 @@ type DB struct {
 	commitPages  uint64
 	txns         uint64        // transactions applied (committed)
 	faults       atomic.Uint64 // incremented by concurrent readers
+	dupFaults    atomic.Uint64 // duplicate faults avoided by the fault mutex
 	stagedEvicts uint64
 
 	// obs handles, resolved once at Open; the registry is shared with the
@@ -192,33 +210,6 @@ type DB struct {
 	hFault  *obs.Histogram // pagedb.fault.ns: store read on a cache miss
 	hCommit *obs.Histogram // pagedb.commit.ns: Commit latency
 	hBatch  *obs.Histogram // pagedb.commit.pages: batch size per commit
-}
-
-// nodeShard is one shard of the decoded-node cache, aligned with the
-// buffer pool's shards (same page-id hash picks both).
-type nodeShard struct {
-	mu    sync.RWMutex
-	nodes map[uint32]*btree.Node
-}
-
-// nshard returns the node-cache shard for a page id.
-func (db *DB) nshard(id uint32) *nodeShard { return &db.nshards[db.pool.ShardOf(id)] }
-
-// cachedNode returns the decoded node for id, or nil.
-func (db *DB) cachedNode(id uint32) *btree.Node {
-	sh := db.nshard(id)
-	sh.mu.RLock()
-	n := sh.nodes[id]
-	sh.mu.RUnlock()
-	return n
-}
-
-// dropNode removes id's decoded node from the cache (if present).
-func (db *DB) dropNode(id uint32) {
-	sh := db.nshard(id)
-	sh.mu.Lock()
-	delete(sh.nodes, id)
-	sh.mu.Unlock()
 }
 
 // Open creates or recovers a database. A fresh store is initialized with an
@@ -254,14 +245,11 @@ func Open(opts Options) (*DB, error) {
 		pending:      make(map[uint32][]byte),
 		freed:        make(map[uint32]bool),
 		encodeFailed: make(map[uint32]error),
-		evq:          make(map[uint32]struct{}),
+		evq:          make(map[uint32]*btree.Node),
 		trees:        make(map[string]*Tree),
 	}
 	db.imgPool.New = func() any { return make([]byte, pageSize) }
-	db.nshards = make([]nodeShard, db.pool.Shards())
-	for i := range db.nshards {
-		db.nshards[i].nodes = make(map[uint32]*btree.Node)
-	}
+	db.faultMu = make([]sync.Mutex, db.pool.Shards())
 	db.pool.SetWriteBack(db.writeBack)
 	db.obsReg = opts.Store.Obs
 	db.hFault = db.obsReg.Histogram("pagedb.fault.ns")
@@ -278,6 +266,15 @@ func Open(opts Options) (*DB, error) {
 	db.obsReg.GaugeFunc("bufferpool.evictions", func() int64 {
 		return int64(db.pool.Stats().Evictions)
 	})
+	db.obsReg.GaugeFunc("bufferpool.fused_hits", func() int64 {
+		return int64(db.pool.Stats().FusedHits)
+	})
+	// Slow-path refaults: FetchPinned misses that found the node installed
+	// once the fault mutex was acquired — each one is a duplicate
+	// ReadPage+decode the old unserialized fault path would have paid.
+	db.obsReg.GaugeFunc("pagedb.node.refaults", func() int64 {
+		return int64(db.dupFaults.Load())
+	})
 	// Per-shard gauges: residency, dirtiness, pins and traffic per CLOCK
 	// region, so a snapshot shows whether the page-id hash spreads load.
 	for i := 0; i < db.pool.Shards(); i++ {
@@ -288,6 +285,7 @@ func Open(opts Options) (*DB, error) {
 		db.obsReg.GaugeFunc(prefix+"pinned", func() int64 { return int64(db.pool.ShardStat(i).Pinned) })
 		db.obsReg.GaugeFunc(prefix+"hits", func() int64 { return int64(db.pool.ShardStat(i).Hits) })
 		db.obsReg.GaugeFunc(prefix+"misses", func() int64 { return int64(db.pool.ShardStat(i).Misses) })
+		db.obsReg.GaugeFunc(prefix+"fused_hits", func() int64 { return int64(db.pool.ShardStat(i).FusedHits) })
 	}
 
 	buf := make([]byte, pageSize)
@@ -366,35 +364,34 @@ func (db *DB) replayWAL() error {
 }
 
 // writeBack is the buffer pool's callback, running under the evicting
-// shard's mutex (possibly in a reader's fault path). A CLEAN eviction drops
-// the decoded node at once — the store (or pending stage) already holds the
-// current image, and eviction implies no pin, so no in-flight operation
-// holds the pointer. A DIRTY eviction only queues the page id: the node —
-// the freshest state — stays cached until a writer settles it
-// (sweepEvictions), because encoding and staging belong to the exclusive
-// side. Flushes (only issued by Commit, exclusive) encode straight into the
-// commit stage.
-func (db *DB) writeBack(id uint32, dirty, evicted bool) error {
+// shard's mutex (possibly in a reader's fault path) with the frame's
+// decoded node in hand. A CLEAN eviction needs nothing: the store (or
+// pending stage) already holds the current image, the frame's slot was
+// cleared before the callback, and eviction implies no pin, so no fused
+// reader can reach the node again — it is garbage the moment in-flight
+// aliases drop. A DIRTY eviction parks the node in the eviction queue: the
+// node IS the freshest state, and encoding and staging belong to the
+// exclusive side, so a writer settles it later (sweepEvictions) or a
+// reader re-admits it dirty (db.node). Flushes (only issued by Commit,
+// exclusive) encode the frame's node straight into the commit stage.
+func (db *DB) writeBack(id uint32, obj any, dirty, evicted bool) error {
 	if evicted {
-		db.evmu.Lock()
-		if dirty {
-			db.evq[id] = struct{}{}
-			db.evmu.Unlock()
+		if !dirty {
 			return nil
 		}
-		_, queued := db.evq[id]
-		db.evmu.Unlock()
-		if !queued {
-			// No un-swept dirty eviction outstanding: the cached node holds
-			// nothing the durable image lacks.
-			db.dropNode(id)
+		n, _ := obj.(*btree.Node)
+		if n == nil {
+			return fmt.Errorf("pagedb: dirty eviction of page %d with no decoded node", id)
 		}
+		db.evmu.Lock()
+		db.evq[id] = n
+		db.evmu.Unlock()
 		return nil
 	}
 	if db.stage == nil {
 		return fmt.Errorf("pagedb: flush of page %d outside a commit", id)
 	}
-	n := db.cachedNode(id)
+	n, _ := obj.(*btree.Node)
 	if n == nil {
 		return fmt.Errorf("pagedb: flush of page %d with no decoded node", id)
 	}
@@ -408,58 +405,61 @@ func (db *DB) writeBack(id uint32, dirty, evicted bool) error {
 	return nil
 }
 
-// sweepEvictions settles the dirty evictions queued since the last sweep: a
-// page re-admitted meanwhile keeps (and re-arms) its dirty bit; a page that
-// stayed out has its node encoded into the pending stage and its decoded
-// copy dropped. A node whose encode fails is re-admitted DIRTY instead of
-// dropped — nothing is lost, the encode is retried at the next eviction or
-// commit. Re-admissions can evict further frames, so the queue is drained
-// in passes (bounded: only encode failures re-admit). Runs with db.mu held
-// EXCLUSIVELY, at a point where no tree operation is holding node pointers.
+// sweepEvictions settles the dirty evictions queued since the last sweep:
+// each parked node is encoded into the pending stage and let go. A node
+// whose encode fails is re-queued with a poison mark instead — nothing is
+// lost, the encode is retried at the next sweep (or the page is freed),
+// and no Commit can succeed meanwhile. One pass suffices: encoding touches
+// no pool frame, so the sweep cannot cause further evictions. Runs with
+// db.mu held EXCLUSIVELY, at a point where no tree operation is holding
+// node pointers; a queued page cannot be resident (a re-admitting fault
+// pops the queue first, under the read guard this sweep excludes).
 func (db *DB) sweepEvictions() error {
-	var firstErr error
-	for pass := 0; ; pass++ {
-		db.evmu.Lock()
-		if len(db.evq) == 0 {
-			db.evmu.Unlock()
-			break
-		}
-		batch := db.evq
-		db.evq = make(map[uint32]struct{})
+	db.evmu.Lock()
+	if len(db.evq) == 0 {
 		db.evmu.Unlock()
-		for id := range batch {
-			if db.pool.IsResident(id) {
-				db.pool.Dirty(id) // preserve dirtiness across the round trip
-				continue
+		return nil
+	}
+	batch := db.evq
+	db.evq = make(map[uint32]*btree.Node)
+	db.evmu.Unlock()
+	var firstErr error
+	for id, n := range batch {
+		img, err := encodeNode(db.pageSize, n)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
 			}
-			n := db.cachedNode(id)
-			if n == nil {
-				continue // freed since the eviction
-			}
-			img, err := encodeNode(db.pageSize, n)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				// Record the failure so no later Commit can succeed
-				// while this page's state is unpersistable, then keep
-				// the page resident and dirty for a retry. The pass
-				// guard only breaks re-admission ping-pong between
-				// multiple failing pages; the poison set keeps even
-				// that case from turning into a silent commit.
-				db.encodeFailed[id] = err
-				if pass < 3 {
-					db.pool.Dirty(id)
-				}
-				continue
-			}
-			delete(db.encodeFailed, id)
-			db.pending[id] = img
-			db.stagedEvicts++
-			db.dropNode(id)
+			// Record the failure so no later Commit can succeed while this
+			// page's state is unpersistable, and park the node again for
+			// the retry.
+			db.encodeFailed[id] = err
+			db.evmu.Lock()
+			db.evq[id] = n
+			db.evmu.Unlock()
+			continue
 		}
+		delete(db.encodeFailed, id)
+		db.pending[id] = img
+		db.stagedEvicts++
 	}
 	return firstErr
+}
+
+// CheckPinBalance verifies the pin-balance invariant the fused Fetch/
+// Release protocol must preserve: between public operations, no buffer
+// frame holds a pin. It takes the exclusive guard, so in-flight operations
+// (which legitimately hold pins) drain first; a non-nil return means some
+// completed operation leaked a pin — which would silently exempt its frame
+// from eviction forever. Intended for tests and hammers; it is cheap
+// (one ring scan) but excludes readers while it runs.
+func (db *DB) CheckPinBalance() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n := db.pool.Pinned(); n != 0 {
+		return fmt.Errorf("pagedb: %d frames still pinned between operations", n)
+	}
+	return nil
 }
 
 // finishOp settles evictions and folds any sweep failure into the
@@ -685,6 +685,10 @@ type Stats struct {
 	Faults uint64
 	// StagedEvictions counts dirty evictions staged between commits.
 	StagedEvictions uint64
+	// DupFaultsAvoided counts reads that missed, queued on the fault mutex,
+	// and found the page already faulted by a concurrent reader — each one a
+	// ReadPage+decode NOT paid twice.
+	DupFaultsAvoided uint64
 	// Txns counts committed transactions applied to the trees (Txn.Commit
 	// and WAL replay both count).
 	Txns uint64
@@ -707,17 +711,18 @@ func (db *DB) Stats() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return Stats{
-		Pool:            db.pool.Stats(),
-		Store:           db.st.Stats(),
-		Trees:           len(db.trees),
-		Commits:         db.commits,
-		CommittedPages:  db.commitPages,
-		PendingPages:    len(db.pending),
-		Faults:          db.faults.Load(),
-		StagedEvictions: db.stagedEvicts,
-		Txns:            db.txns,
-		Epoch:           db.epoch.Load(),
-		WAL:             db.wal.Stats(),
+		Pool:             db.pool.Stats(),
+		Store:            db.st.Stats(),
+		Trees:            len(db.trees),
+		Commits:          db.commits,
+		CommittedPages:   db.commitPages,
+		PendingPages:     len(db.pending),
+		Faults:           db.faults.Load(),
+		StagedEvictions:  db.stagedEvicts,
+		DupFaultsAvoided: db.dupFaults.Load(),
+		Txns:             db.txns,
+		Epoch:            db.epoch.Load(),
+		WAL:              db.wal.Stats(),
 	}
 }
 
